@@ -1,0 +1,30 @@
+"""Bench ext_depth_scaling — BNFF gain across depths and families.
+
+Timed body: seven paper-scale simulations (ResNet-18/34/50/101,
+DenseNet-121/169/201) baseline + BNFF.
+"""
+
+from repro.experiments import ext_depth_scaling
+
+
+def test_ext_depth_scaling(benchmark, artifact):
+    result = benchmark.pedantic(ext_depth_scaling.run, rounds=1, iterations=1)
+    artifact(ext_depth_scaling.render(result))
+
+    # DenseNet family: deeper -> more non-CONV, consistently large gains.
+    d121, d201 = result.of("densenet121"), result.of("densenet201")
+    assert d201.non_conv_share > d121.non_conv_share
+    for m in ("densenet121", "densenet169", "densenet201"):
+        assert result.of(m).bnff_gain > 0.20
+
+    # ResNet family: bottleneck-50 gains more than the basic-block
+    # variants — family structure, not raw depth, decides BN's weight.
+    assert result.of("resnet50").bnff_gain > result.of("resnet34").bnff_gain
+    assert result.of("resnet50").bnff_gain > result.of("resnet18").bnff_gain
+
+    # Cross-family: every DenseNet beats every ResNet.
+    worst_dense = min(result.of(m).bnff_gain
+                      for m in ("densenet121", "densenet169", "densenet201"))
+    best_res = max(result.of(m).bnff_gain
+                   for m in ("resnet18", "resnet34", "resnet50", "resnet101"))
+    assert worst_dense > best_res

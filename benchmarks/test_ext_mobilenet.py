@@ -1,0 +1,19 @@
+"""Bench ext_mobilenet — extension beyond the paper: BNFF on MobileNet-V1.
+
+Timed body: the scenario sweep at paper scale plus the footprint analysis.
+Pinned prediction: MobileNet's depthwise-separable structure makes its
+BNFF gain exceed DenseNet-121's, extending the paper's trend one
+architecture further.
+"""
+
+from repro.experiments import ext_mobilenet
+
+
+def test_ext_mobilenet(benchmark, artifact):
+    result = benchmark.pedantic(ext_mobilenet.run, rounds=1, iterations=1)
+    artifact(ext_mobilenet.render(result))
+
+    assert result.gain("bnff") > result.densenet_bnff_gain > 0.2
+    gains = [result.gain(s) for s in ("rcf", "rcf_mvf", "bnff")]
+    assert gains == sorted(gains)
+    assert result.footprint_saving > 0.3

@@ -1,0 +1,19 @@
+"""Bench fig1 — Figure 1: CONV/FC vs non-CONV across model generations.
+
+Timed body: baseline simulation of all four models at paper scale
+(ImageNet shapes, batch 120) on the Skylake preset.
+"""
+
+from repro.experiments import figure1
+
+
+def test_fig1_breakdown(benchmark, artifact):
+    result = benchmark.pedantic(figure1.run, rounds=1, iterations=1)
+    artifact(figure1.render(result))
+
+    # Paper shape: early models CONV-dominated, DenseNet non-CONV majority,
+    # monotone trend from oldest to newest.
+    assert result.non_conv_share("alexnet") < 0.15
+    assert result.non_conv_share("densenet121") > 0.50
+    shares = [result.non_conv_share(m) for m in figure1.MODELS]
+    assert shares == sorted(shares)

@@ -1,0 +1,27 @@
+"""Bench fig3 — Figure 3: bandwidth utilization over one DenseNet iteration.
+
+Timed body: full-iteration simulation + timeline serialization (972 node
+executions). The reproduced shape: non-CONV layers pinned at the machine's
+achievable bandwidth, CONV layers' compute-bound segments far below it.
+"""
+
+from repro.experiments import figure3
+from repro.hw.presets import SKYLAKE_2S
+
+
+def test_fig3_timeline(benchmark, artifact):
+    result = benchmark.pedantic(figure3.run, rounds=1, iterations=1)
+    artifact(figure3.render(result))
+
+    effective_gbs = SKYLAKE_2S.effective_bandwidth() / 1e9
+
+    # Non-CONV layers saturate the achievable bandwidth...
+    assert result.max_bandwidth_gbs(conv_like=False) > 0.95 * effective_gbs
+    # ...and the compute-bound CONV segments sit well below it: the mean
+    # CONV bandwidth is lower than the mean non-CONV bandwidth.
+    assert (result.mean_bandwidth_gbs(conv_like=True)
+            < result.mean_bandwidth_gbs(conv_like=False))
+    # Alternating demand: both high- and low-bandwidth segments exist.
+    lows = [s for s in result.segments
+            if s.dram_bytes and s.bandwidth_bps / 1e9 < 0.5 * effective_gbs]
+    assert lows, "expected compute-bound segments below half bandwidth"

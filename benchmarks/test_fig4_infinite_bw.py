@@ -1,0 +1,15 @@
+"""Bench fig4 — Figure 4: BN+ReLU at finite vs infinite memory bandwidth.
+
+Timed body: the paired simulations. The paper's headline: ~20x speedup when
+BN/ReLU skip DRAM, proving they are bandwidth-bound.
+"""
+
+from repro.experiments import figure4
+
+
+def test_fig4_infinite_bandwidth(benchmark, artifact):
+    result = benchmark.pedantic(figure4.run, rounds=1, iterations=1)
+    artifact(figure4.render(result))
+
+    assert 12.0 < result.speedup < 30.0  # paper: ~20x
+    assert result.infinite_s < result.finite_s

@@ -1,0 +1,17 @@
+"""Bench fig6 — Figure 6: DenseNet-121 on GPU (b28) / KNL (b128) / SKL (b120).
+
+Timed body: three paper-scale simulations on three machine presets.
+"""
+
+from repro.experiments import figure6
+
+
+def test_fig6_architectures(benchmark, artifact):
+    result = benchmark.pedantic(figure6.run, rounds=1, iterations=1)
+    artifact(figure6.render(result))
+
+    # (a) every architecture spends at least ~half its time on non-CONV.
+    for b in result.breakdowns:
+        assert b.non_conv_share >= 0.45
+    # (b) per-image times are similar despite 1.6x/3.0x peak-FLOPS gaps.
+    assert result.per_image_ratio() < figure6.PAPER["per_image_similar_within"]

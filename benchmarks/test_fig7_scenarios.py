@@ -1,0 +1,48 @@
+"""Bench fig7 — Figure 7: the headline scenario comparison.
+
+Timed body: for DenseNet-121 and ResNet-50 at paper scale, apply every
+restructuring scenario (clone + pass pipeline) and simulate the result —
+the complete evaluation loop of the paper's Section 5.
+
+Paper-vs-measured bands are pinned (see also
+tests/integration/test_paper_numbers.py, which tests the same quantities in
+the unit suite).
+"""
+
+import pytest
+
+from repro.experiments import figure7
+
+
+def test_fig7_scenarios(benchmark, artifact):
+    result = benchmark.pedantic(figure7.run, rounds=1, iterations=1)
+    artifact(figure7.render(result))
+
+    dn = figure7.PAPER["densenet121"]
+    rn = figure7.PAPER["resnet50"]
+
+    # DenseNet-121 headline numbers.
+    assert result.of("densenet121", "bnff").total_gain == pytest.approx(
+        dn["bnff"], abs=0.06)
+    assert result.of("densenet121", "bnff").fwd_gain == pytest.approx(
+        dn["bnff_fwd"], abs=0.08)
+    assert result.of("densenet121", "bnff").bwd_gain == pytest.approx(
+        dn["bnff_bwd"], abs=0.05)
+    assert result.of("densenet121", "baseline").cost.non_conv_share() == (
+        pytest.approx(0.589, abs=0.06))
+
+    # ResNet-50.
+    assert result.of("resnet50", "bnff").total_gain == pytest.approx(
+        rn["bnff"], abs=0.05)
+
+    # Orderings that define the figure's shape.
+    gains = [result.of("densenet121", s).total_gain
+             for s in ("rcf", "rcf_mvf", "bnff", "bnff_icf")]
+    assert gains == sorted(gains)
+    assert (result.of("densenet121", "bnff").total_gain
+            > result.of("resnet50", "bnff").total_gain)
+
+    # Panel (b): DRAM traffic falls monotonically across scenarios.
+    drams = [result.of("densenet121", s).cost.dram_bytes
+             for s in ("baseline", "rcf", "rcf_mvf", "bnff", "bnff_icf")]
+    assert drams == sorted(drams, reverse=True)

@@ -1,0 +1,24 @@
+"""Bench fig8 — Figure 8: baseline vs BNFF at 230.4 and 115.2 GB/s.
+
+Timed body: the two-point bandwidth sweep (four paper-scale simulations).
+"""
+
+import pytest
+
+from repro.experiments import figure8
+
+
+def test_fig8_bandwidth(benchmark, artifact):
+    result = benchmark.pedantic(figure8.run, rounds=1, iterations=1)
+    artifact(figure8.render(result))
+
+    full, half = result.at(230.4), result.at(115.2)
+
+    # BNFF matters more when bandwidth is scarcer.
+    assert half.bnff_gain > full.bnff_gain
+    assert half.bnff_gain == pytest.approx(
+        figure8.PAPER["bnff_gain_half"], abs=0.06)
+    # The baseline becomes more non-CONV-bound at half bandwidth.
+    assert half.baseline_non_conv_share > full.baseline_non_conv_share
+    assert half.baseline_non_conv_share == pytest.approx(
+        figure8.PAPER["non_conv_share_half"], abs=0.06)

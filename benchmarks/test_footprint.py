@@ -1,0 +1,42 @@
+"""Bench footprint — retained-activation memory under restructuring.
+
+Extension analysis (the Gist-adjacent effect the paper's Related Work
+gestures at but does not quantify): BNFF's transient normalized/rectified
+maps shrink the tensors stashed between forward and backward.
+"""
+
+from repro.analysis.tables import format_table
+from repro.models.registry import build_model
+from repro.passes.scenarios import apply_scenario
+from repro.perf.footprint import training_footprint
+
+
+def test_footprint_across_models(benchmark, artifact):
+    def run():
+        rows = []
+        for model in ("densenet121", "resnet50", "mobilenet_v1"):
+            g = build_model(model, batch=120)
+            gb, _ = apply_scenario(g, "bnff")
+            base = training_footprint(g)
+            fused = training_footprint(gb)
+            rows.append((
+                model,
+                f"{base.retained_gb:.1f}",
+                f"{fused.retained_gb:.1f}",
+                f"{(1 - fused.retained_bytes / base.retained_bytes) * 100:.1f}%",
+            ))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    artifact(format_table(
+        ["model", "baseline GB", "BNFF GB", "saving"],
+        rows,
+        title="Retained-activation footprint, batch 120 (extension analysis)",
+    ))
+    savings = {r[0]: float(r[3][:-1]) for r in rows}
+    # Pre-activation-style chains drop the whole normalized map (~47%);
+    # ResNet's EWS fusion still retains the wide pre-BN tensors for the
+    # x-hat recompute, so its saving is structurally smaller.
+    assert savings["densenet121"] > 40.0
+    assert savings["mobilenet_v1"] > 40.0
+    assert savings["resnet50"] > 10.0

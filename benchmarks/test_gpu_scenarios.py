@@ -1,0 +1,24 @@
+"""Bench gpu — Section 5 GPU results: BNFF inside CUTLASS-class kernels.
+
+Timed body: scenario comparison for both models on the CUTLASS GPU preset
+(batch 16) plus the cuDNN baseline reference.
+"""
+
+import pytest
+
+from repro.experiments import gpu_results
+
+
+def test_gpu_scenarios(benchmark, artifact):
+    result = benchmark.pedantic(gpu_results.run, rounds=1, iterations=1)
+    artifact(gpu_results.render(result))
+
+    # Shape: BNFF >> RCF+MVF > RCF, for both models; DenseNet > ResNet.
+    for model in ("densenet121", "resnet50"):
+        gains = [result.gain(model, s) for s in ("rcf", "rcf_mvf", "bnff")]
+        assert gains == sorted(gains)
+    assert result.gain("densenet121", "bnff") > result.gain("resnet50", "bnff")
+
+    # Magnitudes (paper: 17.5% / 7.8%).
+    assert result.gain("densenet121", "bnff") == pytest.approx(0.175, abs=0.08)
+    assert result.gain("resnet50", "bnff") == pytest.approx(0.078, abs=0.05)

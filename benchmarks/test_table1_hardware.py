@@ -1,0 +1,19 @@
+"""Bench tab1 — Table 1: peak FLOPS / bandwidth of the evaluated machines.
+
+Regenerates the table from the frozen presets and verifies the anchors; the
+timed body is preset construction + table rendering (trivially fast, kept
+for completeness of the per-artifact bench inventory).
+"""
+
+import pytest
+
+from repro.experiments import table1
+
+
+def test_table1_hardware(benchmark, artifact):
+    result = benchmark(lambda: table1.run())
+    artifact(table1.render(result))
+
+    for (name, tflops, gbs), (_, p_tflops, p_gbs) in zip(result.rows, table1.PAPER):
+        assert tflops == pytest.approx(p_tflops)
+        assert gbs == pytest.approx(p_gbs)

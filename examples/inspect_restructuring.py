@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Inspect exactly what BN Fission-n-Fusion does to a graph.
+
+A tour of the library's introspection surface:
+
+1. model structure summary (the textual Figure 2);
+2. the Figure-5 sweep ledger around one BN layer, before and after BNFF —
+   showing each statistics/normalize/gradient sweep and which convolution
+   now hosts it;
+3. the fusion inventory (every ghosted sub-layer and its host);
+4. a JSON dump of the restructured graph for offline diffing.
+
+Run:  python examples/inspect_restructuring.py
+"""
+
+import json
+
+from repro.analysis import (
+    fusion_inventory,
+    render_chain_audit,
+    render_model_summary,
+    sweep_summary,
+)
+from repro.graph import graph_to_dict
+from repro.models import build_model
+from repro.passes import apply_scenario
+
+#: An interior BN (fully fusible) and a boundary BN (ICF territory).
+INTERIOR_BN = "block1/cpl0/bn_b"
+BOUNDARY_BN = "block1/cpl1/bn_a"
+
+
+def main() -> None:
+    graph = build_model("densenet121", batch=120)
+    print(render_model_summary(graph, max_rows=14))
+
+    print("\n--- reference ledger around an interior BN ---")
+    print(render_chain_audit(graph, INTERIOR_BN))
+
+    bnff, results = apply_scenario(graph, "bnff")
+    print("\n--- after BNFF ---")
+    print(render_chain_audit(bnff, INTERIOR_BN))
+
+    print("\n--- boundary BN under BNFF (stats + input-grad survive) ---")
+    print(render_chain_audit(bnff, BOUNDARY_BN))
+
+    icf, _ = apply_scenario(graph, "bnff_icf")
+    print("\n--- same boundary BN after ICF (claimed by Concat/Split) ---")
+    print(render_chain_audit(icf, BOUNDARY_BN))
+
+    inventory = fusion_inventory(icf)
+    by_host_kind = {}
+    for record in inventory:
+        by_host_kind.setdefault(record.host_kind.value, 0)
+        by_host_kind[record.host_kind.value] += 1
+    print(f"\nfusion inventory: {len(inventory)} ghosted (sub-)layers "
+          f"hosted by {by_host_kind}")
+
+    per_kind = sweep_summary(icf)
+    bn_sweeps = sum(
+        f + b for k, (f, b) in per_kind.items() if k.value.startswith("bn")
+    )
+    print(f"BN-layer sweeps remaining under BNFF+ICF: {bn_sweeps} "
+          f"(stem/head normalize only)")
+
+    blob = json.dumps(graph_to_dict(icf))
+    print(f"\nserialized restructured graph: {len(blob) / 1e6:.1f} MB of JSON "
+          f"({len(icf.nodes)} nodes) — see repro.graph.save_graph")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""Train a CNN with restructured BN and watch it match the reference.
+
+The paper's correctness argument (Section 3.2) is that restructured BN —
+one-pass E(X^2) statistics, normalize/ReLU folded into convolutions,
+gradients transformed on the fly — changes *where* the arithmetic happens
+but not *what* is computed. This example trains the same DenseNet miniature
+twice on the same synthetic classification task, once with the reference
+executor and once with the full BNFF+ICF restructuring, from identical
+initial weights, and prints the two loss curves side by side.
+
+Expected output: identical first step, sub-1% drift for the first few
+steps (fp32 rounding differences compound chaotically through SGD), and
+equally successful optimization — the paper's "single precision is good
+enough" claim made visible.
+
+Run:  python examples/train_restructured_cnn.py
+"""
+
+from repro.analysis import format_table
+from repro.models import build_model
+from repro.passes import apply_scenario
+from repro.train import GraphExecutor, SyntheticClassification, Trainer
+
+STEPS = 20
+BATCH = 8
+
+
+def main() -> None:
+    graph = build_model("tiny_densenet", batch=BATCH)
+    restructured, _ = apply_scenario(graph, "bnff_icf")
+    task = SyntheticClassification(image=(3, 16, 16), num_classes=10,
+                                   noise=0.3, seed=3)
+
+    ref_trainer = Trainer(GraphExecutor(graph, seed=7), task, lr=0.05)
+    bnff_trainer = Trainer(GraphExecutor(restructured, seed=7), task, lr=0.05)
+
+    rows = []
+    for step in range(STEPS):
+        a = ref_trainer.step(BATCH, seed=step)
+        b = bnff_trainer.step(BATCH, seed=step)
+        rows.append((step, f"{a.loss:.4f}", f"{b.loss:.4f}",
+                     f"{abs(a.loss - b.loss):.1e}"))
+
+    print(format_table(
+        ["step", "reference loss", "BNFF+ICF loss", "|diff|"],
+        rows,
+        title="Training with restructured BN (tiny DenseNet, synthetic task)",
+    ))
+
+    first, last = ref_trainer.losses[0], ref_trainer.losses[-1]
+    print(f"\nreference: {first:.3f} -> {last:.3f}")
+    first, last = bnff_trainer.losses[0], bnff_trainer.losses[-1]
+    print(f"restructured: {first:.3f} -> {last:.3f}")
+    assert bnff_trainer.losses[0] == ref_trainer.losses[0]
+    print("identical start, equivalent optimization — restructuring is "
+          "numerically safe to train with.")
+
+
+if __name__ == "__main__":
+    main()

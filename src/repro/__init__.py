@@ -1,0 +1,36 @@
+"""repro — reproduction of "Restructuring Batch Normalization to Accelerate
+CNN Training" (Jung et al., MLSys 2019).
+
+The library has two coupled halves:
+
+* a **functional** half — a from-scratch numpy CNN training substrate
+  (:mod:`repro.nn`), fused BNFF kernels (:mod:`repro.kernels`) and a graph
+  executor (:mod:`repro.train`) that proves the restructured execution is
+  numerically equivalent to the reference, and
+
+* an **analytical** half — a layer-graph IR with explicit memory-sweep
+  ledgers (:mod:`repro.graph`), the Fission/MVF/RCF/Fusion/ICF passes
+  (:mod:`repro.passes`), hardware models of the paper's Table 1 machines
+  (:mod:`repro.hw`) and a roofline simulator (:mod:`repro.perf`) that
+  regenerates every table and figure in the paper's evaluation
+  (:mod:`repro.experiments`).
+
+Quickstart::
+
+    from repro.models import build_model
+    from repro.passes import apply_scenario
+    from repro.hw import SKYLAKE_2S
+    from repro.perf import simulate
+
+    graph = build_model("densenet121", batch=120)
+    bnff, _ = apply_scenario(graph, "bnff")
+    base_cost = simulate(graph, SKYLAKE_2S)
+    bnff_cost = simulate(bnff, SKYLAKE_2S, scenario="bnff")
+    print(1 - bnff_cost.total_time_s / base_cost.total_time_s)  # ~0.25
+"""
+
+__version__ = "1.0.0"
+
+from repro import config, errors
+
+__all__ = ["config", "errors", "__version__"]

@@ -1,0 +1,64 @@
+"""Analysis layer: turn simulator output into the paper's figures/tables.
+
+Each module corresponds to a family of paper artifacts:
+
+* :mod:`repro.analysis.breakdown` — CONV/FC vs non-CONV execution-time
+  splits (Figures 1 and 6).
+* :mod:`repro.analysis.scenarios` — the RCF / RCF+MVF / BNFF / BNFF+ICF
+  comparison (Figure 7) plus the paper-style ICF extrapolation.
+* :mod:`repro.analysis.bandwidth` — infinite-bandwidth (Figure 4) and
+  bandwidth-scaling (Figure 8) studies.
+* :mod:`repro.analysis.tables` — plain-text renderers used by benches,
+  examples and the experiment CLI.
+"""
+
+from repro.analysis.breakdown import (
+    model_breakdown,
+    breakdown_table,
+    architecture_comparison,
+)
+from repro.analysis.scenarios import (
+    ScenarioResult,
+    compare_scenarios,
+    paper_style_icf_estimate,
+)
+from repro.analysis.bandwidth import (
+    infinite_bandwidth_speedup,
+    bandwidth_sweep,
+)
+from repro.analysis.tables import format_table, format_figure_series
+from repro.analysis.ledger import (
+    chain_audit,
+    sweep_summary,
+    fusion_inventory,
+    render_chain_audit,
+)
+from repro.analysis.structure import (
+    model_summary,
+    total_parameters,
+    render_model_summary,
+)
+from repro.analysis.roofline import roofline_points, ridge_point, mean_intensity
+
+__all__ = [
+    "model_breakdown",
+    "breakdown_table",
+    "architecture_comparison",
+    "ScenarioResult",
+    "compare_scenarios",
+    "paper_style_icf_estimate",
+    "infinite_bandwidth_speedup",
+    "bandwidth_sweep",
+    "format_table",
+    "format_figure_series",
+    "chain_audit",
+    "sweep_summary",
+    "fusion_inventory",
+    "render_chain_audit",
+    "model_summary",
+    "total_parameters",
+    "render_model_summary",
+    "roofline_points",
+    "ridge_point",
+    "mean_intensity",
+]

@@ -1,0 +1,76 @@
+"""Execution-time breakdowns: CONV/FC vs non-CONV (Figures 1 and 6)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.hw.spec import HardwareSpec
+from repro.models.registry import build_model
+from repro.perf.report import IterationCost
+from repro.perf.simulator import simulate
+
+
+@dataclass(frozen=True)
+class Breakdown:
+    """One model's time split on one machine."""
+
+    model: str
+    hardware: str
+    batch: int
+    total_s: float
+    conv_fc_s: float
+    non_conv_s: float
+
+    @property
+    def non_conv_share(self) -> float:
+        return self.non_conv_s / self.total_s if self.total_s else 0.0
+
+    @property
+    def conv_fc_share(self) -> float:
+        return 1.0 - self.non_conv_share
+
+    @property
+    def per_image_s(self) -> float:
+        return self.total_s / self.batch
+
+
+def model_breakdown(model: str, hw: HardwareSpec, batch: int = 120,
+                    **model_kwargs) -> Breakdown:
+    """Simulate one model's baseline iteration and split its time."""
+    graph = build_model(model, batch=batch, **model_kwargs)
+    cost = simulate(graph, hw)
+    return _from_cost(cost)
+
+
+def _from_cost(cost: IterationCost) -> Breakdown:
+    return Breakdown(
+        model=cost.model,
+        hardware=cost.hardware,
+        batch=cost.batch,
+        total_s=cost.total_time_s,
+        conv_fc_s=cost.conv_fc_time_s(),
+        non_conv_s=cost.non_conv_time_s(),
+    )
+
+
+def breakdown_table(models: Sequence[str], hw: HardwareSpec,
+                    batch: int = 120) -> List[Breakdown]:
+    """Figure 1: baseline breakdown across a model list (oldest first)."""
+    return [model_breakdown(m, hw, batch=batch) for m in models]
+
+
+def architecture_comparison(
+    model: str,
+    configs: Sequence[Tuple[HardwareSpec, int]],
+) -> List[Breakdown]:
+    """Figure 6: one model across (hardware, mini-batch) configurations.
+
+    The paper uses DenseNet-121 with GPU at batch 28, KNL at 128 and
+    Skylake at 120 (GPU memory capacity forces the smaller batch).
+    """
+    out = []
+    for hw, batch in configs:
+        graph = build_model(model, batch=batch)
+        out.append(_from_cost(simulate(graph, hw)))
+    return out

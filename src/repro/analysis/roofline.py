@@ -1,0 +1,72 @@
+"""Roofline scatter: arithmetic intensity vs achieved throughput per node.
+
+The quantitative backbone of the paper's Section 3.1 argument: non-CONV
+layers sit far left of the machine's ridge point (arithmetic intensity of
+a few ops per byte against a balance of dozens), so no amount of compute
+helps them — only traffic reduction does. This module computes the classic
+roofline coordinates for every node of a simulated iteration, which tests
+pin and examples can plot as text.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.graph.node import CONV_LIKE, OpKind
+from repro.hw.spec import HardwareSpec
+from repro.perf.report import IterationCost
+
+
+@dataclass(frozen=True)
+class RooflinePoint:
+    """One node's position on the roofline plot (forward + backward)."""
+
+    node: str
+    kind: OpKind
+    intensity_flop_per_byte: float  # arithmetic intensity (ops / DRAM byte)
+    achieved_ops_per_s: float       # total ops / roofline time
+    time_s: float
+
+    @property
+    def is_conv_like(self) -> bool:
+        return self.kind in CONV_LIKE
+
+
+def roofline_points(cost: IterationCost) -> List[RooflinePoint]:
+    """Roofline coordinates for every non-ghost node with any work."""
+    points = []
+    for n in cost.nodes:
+        ops = n.fwd.flops + n.fwd.eops + n.bwd.flops + n.bwd.eops
+        dram = n.fwd.dram_bytes + n.bwd.dram_bytes
+        time = n.time_s
+        if ops <= 0 or time <= 0:
+            continue
+        points.append(RooflinePoint(
+            node=n.name,
+            kind=n.kind,
+            intensity_flop_per_byte=(ops / dram) if dram else float("inf"),
+            achieved_ops_per_s=ops / time,
+            time_s=time,
+        ))
+    return points
+
+
+def ridge_point(hw: HardwareSpec) -> float:
+    """Arithmetic intensity where the machine turns compute-bound.
+
+    ``peak_flops / effective_bandwidth`` — nodes left of this are
+    bandwidth-limited no matter how efficient their arithmetic is.
+    """
+    return hw.peak_flops / hw.effective_bandwidth()
+
+
+def mean_intensity(points: List[RooflinePoint], conv_like: bool) -> float:
+    """Time-weighted mean arithmetic intensity of one node class."""
+    chosen = [p for p in points
+              if p.is_conv_like == conv_like
+              and p.intensity_flop_per_byte != float("inf")]
+    total_time = sum(p.time_s for p in chosen)
+    if not chosen or total_time == 0:
+        return 0.0
+    return sum(p.intensity_flop_per_byte * p.time_s for p in chosen) / total_time

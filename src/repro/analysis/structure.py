@@ -1,0 +1,102 @@
+"""Model-structure summaries (the library's ``print(model)``).
+
+Region-grouped layer/shape/parameter tables for any layer graph — the
+textual equivalent of the paper's Figure 2 block diagram, and the quickest
+way to sanity-check a model variant before simulating it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.graph.graph import LayerGraph
+from repro.graph.node import OpKind
+from repro.tensors.tensor_spec import TensorKind
+
+
+@dataclass(frozen=True)
+class RegionSummary:
+    """Aggregate description of one region (stem, block, transition...)."""
+
+    region: str
+    nodes: int
+    convs: int
+    bns: int
+    relus: int
+    params: int
+    output_shape: tuple
+
+
+def model_summary(graph: LayerGraph) -> List[RegionSummary]:
+    """Per-region summaries in execution order."""
+    order: List[str] = []
+    grouped: Dict[str, List] = {}
+    for node in graph.nodes:
+        if node.region not in grouped:
+            grouped[node.region] = []
+            order.append(node.region)
+        grouped[node.region].append(node)
+
+    out = []
+    for region in order:
+        nodes = grouped[region]
+        convs = sum(1 for n in nodes if n.kind is OpKind.CONV)
+        bns = sum(1 for n in nodes
+                  if n.kind in (OpKind.BN, OpKind.BN_STATS, OpKind.BN_NORM))
+        relus = sum(1 for n in nodes if n.kind is OpKind.RELU)
+        params = 0
+        for n in nodes:
+            w = n.attrs.get("weight")
+            if w:
+                params += graph.tensor(w).num_elements
+            if n.kind in (OpKind.BN, OpKind.BN_NORM):
+                params += 2 * n.attrs.get("channels", 0)
+        # Last feature output of the region.
+        output_shape = ()
+        for n in reversed(nodes):
+            for t in reversed(n.outputs):
+                spec = graph.tensor(t)
+                if spec.kind is TensorKind.FEATURE:
+                    output_shape = spec.shape
+                    break
+            if output_shape:
+                break
+        out.append(RegionSummary(
+            region=region or "(root)", nodes=len(nodes), convs=convs,
+            bns=bns, relus=relus, params=params, output_shape=output_shape,
+        ))
+    return out
+
+
+def total_parameters(graph: LayerGraph) -> int:
+    """Total learnable parameters (weights + BN affine pairs)."""
+    return sum(r.params for r in model_summary(graph))
+
+
+def render_model_summary(graph: LayerGraph, max_rows: int = 40) -> str:
+    """Plain-text structure table; long models elide middle regions."""
+    from repro.analysis.tables import format_table
+
+    summaries = model_summary(graph)
+    if len(summaries) > max_rows:
+        head = summaries[: max_rows // 2]
+        tail = summaries[-max_rows // 2:]
+        elided = len(summaries) - len(head) - len(tail)
+        rows = [_row(s) for s in head]
+        rows.append((f"... {elided} regions elided ...", "", "", "", "", "", ""))
+        rows.extend(_row(s) for s in tail)
+    else:
+        rows = [_row(s) for s in summaries]
+    table = format_table(
+        ["region", "nodes", "convs", "bns", "relus", "params", "output"],
+        rows,
+        title=f"{graph.name}: {len(graph.nodes)} nodes, "
+              f"{total_parameters(graph) / 1e6:.1f}M parameters",
+    )
+    return table
+
+
+def _row(s: RegionSummary):
+    shape = "x".join(str(d) for d in s.output_shape) if s.output_shape else "-"
+    return (s.region, s.nodes, s.convs, s.bns, s.relus, s.params, shape)

@@ -1,0 +1,54 @@
+"""Plain-text rendering for benches, examples and the experiment CLI."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence],
+                 title: str = "") -> str:
+    """Render an aligned fixed-width table.
+
+    Numbers are formatted to a sensible precision; everything else with
+    ``str``. Used by every bench so the printed artifact looks like the
+    paper's tables.
+    """
+    def fmt(v) -> str:
+        if isinstance(v, float):
+            return f"{v:.3f}" if abs(v) < 100 else f"{v:.1f}"
+        return str(v)
+
+    str_rows: List[List[str]] = [[fmt(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(c.rjust(w) for c, w in zip(cells, widths))
+
+    out = []
+    if title:
+        out.append(title)
+    out.append(line(headers))
+    out.append(line(["-" * w for w in widths]))
+    out.extend(line(r) for r in str_rows)
+    return "\n".join(out)
+
+
+def format_figure_series(name: str, xs: Sequence, ys: Sequence[float],
+                         x_label: str = "x", y_label: str = "y",
+                         width: int = 50) -> str:
+    """Render a data series as a labelled ASCII bar chart.
+
+    Good enough to eyeball the *shape* of a paper figure in a terminal and
+    in captured bench output.
+    """
+    if len(xs) != len(ys):
+        raise ValueError(f"{name}: {len(xs)} xs vs {len(ys)} ys")
+    peak = max((abs(y) for y in ys), default=1.0) or 1.0
+    out = [f"{name}  ({y_label} vs {x_label})"]
+    for x, y in zip(xs, ys):
+        bar = "#" * max(1, int(round(width * abs(y) / peak))) if y else ""
+        out.append(f"  {str(x):>16s} | {bar} {y:.3g}")
+    return "\n".join(out)

@@ -1,0 +1,36 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything coming out of this package with a single ``except`` clause
+while still being able to discriminate failure classes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class ShapeError(ReproError, ValueError):
+    """A tensor shape is malformed or incompatible with an operation."""
+
+
+class GraphError(ReproError):
+    """A layer graph is structurally invalid (cycles, dangling tensors...)."""
+
+
+class PassError(ReproError):
+    """A restructuring pass was applied to a graph it cannot legally touch."""
+
+
+class ExecutionError(ReproError):
+    """The functional executor hit an inconsistent runtime state."""
+
+
+class HardwareSpecError(ReproError, ValueError):
+    """A hardware description is incomplete or non-physical."""
+
+
+class SimulationError(ReproError):
+    """The performance simulator was asked something it cannot answer."""

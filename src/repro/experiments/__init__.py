@@ -1,0 +1,37 @@
+"""Experiment registry: one module per table/figure of the paper.
+
+Every module exposes ``run()`` (returns structured results), ``render(r)``
+(plain-text artifact shaped like the paper's table/figure) and ``PAPER``
+(the numbers the paper reports, for side-by-side comparison). The CLI —
+``python -m repro.experiments <id>`` or the installed ``repro-experiments``
+script — runs any subset and prints paper-vs-measured.
+"""
+
+from repro.experiments import (
+    ext_depth_scaling,
+    ext_mobilenet,
+    figure1,
+    figure3,
+    figure4,
+    figure6,
+    figure7,
+    figure8,
+    gpu_results,
+    table1,
+)
+
+#: Experiment id -> module, in the paper's presentation order.
+EXPERIMENTS = {
+    "fig1": figure1,
+    "fig3": figure3,
+    "fig4": figure4,
+    "fig6": figure6,
+    "fig7": figure7,
+    "fig8": figure8,
+    "tab1": table1,
+    "gpu": gpu_results,
+    "ext_mobilenet": ext_mobilenet,
+    "ext_depth_scaling": ext_depth_scaling,
+}
+
+__all__ = ["EXPERIMENTS"]

@@ -1,0 +1,89 @@
+"""Extension experiment: BNFF gain vs network depth and family.
+
+The paper's Figure 1 argues a *trend* — deeper, leaner models spend ever
+more time in non-CONV layers — but evaluates restructuring at only two
+points (DenseNet-121, ResNet-50). This experiment fills in the curve with
+the zoo's other published depths: DenseNet-169/201 and ResNet-18/34/101.
+
+Expected shapes (pinned by the bench):
+
+* within each family, the baseline non-CONV share grows with depth for
+  DenseNet (more, wider boundary BNs per block) — and the BNFF gain with
+  it;
+* ResNet's basic-block shallow variants (18/34) have *higher* BN/CONV
+  traffic ratios than the bottleneck-50 (two 3x3 convs per two BNs versus
+  three convs per three BNs but 4x-wide outputs) — the family ordering is
+  not monotone in depth, which is exactly why the paper's per-model
+  measurements matter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.analysis.tables import format_table
+from repro.hw.presets import SKYLAKE_2S
+from repro.models.registry import build_model
+from repro.passes.scenarios import apply_scenario
+from repro.perf.report import speedup
+from repro.perf.simulator import simulate
+
+MODELS = (
+    "resnet18", "resnet34", "resnet50", "resnet101",
+    "densenet121", "densenet169", "densenet201",
+)
+
+PAPER = {
+    "note": "extension beyond the paper",
+    "densenet_family_monotone": True,
+}
+
+
+@dataclass(frozen=True)
+class DepthPoint:
+    model: str
+    non_conv_share: float
+    bnff_gain: float
+    iter_s: float
+
+
+@dataclass(frozen=True)
+class DepthScalingResult:
+    points: List[DepthPoint]
+
+    def of(self, model: str) -> DepthPoint:
+        for p in self.points:
+            if p.model == model:
+                return p
+        raise KeyError(model)
+
+
+def run(batch: int = 60) -> DepthScalingResult:
+    """Sweep the zoo at a shared batch (60 keeps the deepest nets fast)."""
+    points = []
+    for model in MODELS:
+        graph = build_model(model, batch=batch)
+        restructured, _ = apply_scenario(graph, "bnff")
+        base = simulate(graph, SKYLAKE_2S)
+        fused = simulate(restructured, SKYLAKE_2S, scenario="bnff")
+        points.append(DepthPoint(
+            model=model,
+            non_conv_share=base.non_conv_share(),
+            bnff_gain=speedup(base, fused),
+            iter_s=base.total_time_s,
+        ))
+    return DepthScalingResult(points)
+
+
+def render(result: DepthScalingResult) -> str:
+    rows = [
+        (p.model, p.iter_s, f"{p.non_conv_share * 100:.1f}%",
+         f"{p.bnff_gain * 100:.1f}%")
+        for p in result.points
+    ]
+    return format_table(
+        ["model", "baseline iter (s)", "non-CONV share", "BNFF gain"],
+        rows,
+        title="Extension: BNFF gain vs depth/family (Skylake 2S, batch 60)",
+    )

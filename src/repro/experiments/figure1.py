@@ -1,0 +1,57 @@
+"""Figure 1: execution-time breakdown of popular CNNs, CONV/FC vs non-CONV.
+
+Paper finding: early models (AlexNet, VGG) spend up to ~95% of training
+time in CONV/FC layers; the deep modern models invert this — DenseNet-121
+spends more than half its time in non-CONV layers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.analysis.breakdown import Breakdown, breakdown_table
+from repro.analysis.tables import format_table
+from repro.hw.presets import SKYLAKE_2S
+
+#: Models in the paper's oldest-to-newest order.
+MODELS = ("alexnet", "vgg16", "resnet50", "densenet121")
+
+#: Paper's qualitative anchors (shares of total execution time).
+PAPER = {
+    "alexnet_conv_share_min": 0.90,     # "up to 95% of total execution time"
+    "densenet121_non_conv_share_min": 0.50,  # "more than half"
+}
+
+
+@dataclass(frozen=True)
+class Figure1Result:
+    breakdowns: List[Breakdown]
+
+    def non_conv_share(self, model: str) -> float:
+        for b in self.breakdowns:
+            if b.model == model:
+                return b.non_conv_share
+        raise KeyError(model)
+
+
+def run(batch: int = 120) -> Figure1Result:
+    """Simulate the baseline breakdown for every Figure 1 model."""
+    return Figure1Result(breakdown_table(MODELS, SKYLAKE_2S, batch=batch))
+
+
+def render(result: Figure1Result) -> str:
+    rows = [
+        (
+            b.model,
+            f"{b.conv_fc_share * 100:.1f}%",
+            f"{b.non_conv_share * 100:.1f}%",
+            b.total_s,
+        )
+        for b in result.breakdowns
+    ]
+    return format_table(
+        ["model", "CONV/FC", "non-CONV", "iter (s)"],
+        rows,
+        title="Figure 1: execution-time breakdown (Skylake 2S, batch 120)",
+    )

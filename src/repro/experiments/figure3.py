@@ -1,0 +1,75 @@
+"""Figure 3: DRAM bandwidth utilization over time, DenseNet-121 training.
+
+Paper finding: layers execute sequentially with strongly layer-dependent
+bandwidth demand; the non-CONV layers (BN, ReLU, Concat) saturate the
+machine's peak bandwidth (230.4 GB/s), while CONV layers use at most about
+half of it (the paper quotes ~120 GB/s).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.analysis.tables import format_figure_series
+from repro.graph.node import CONV_LIKE
+from repro.hw.presets import SKYLAKE_2S
+from repro.models.registry import build_model
+from repro.perf.simulator import simulate
+from repro.perf.timeline import TimelineSegment, iteration_timeline
+
+PAPER = {
+    "peak_bandwidth_gbs": 230.4,
+    "conv_bandwidth_max_gbs": 120.0,  # "only up to 120GB/s"
+}
+
+
+@dataclass(frozen=True)
+class Figure3Result:
+    segments: List[TimelineSegment]
+    peak_bandwidth_gbs: float
+
+    def max_bandwidth_gbs(self, conv_like: bool) -> float:
+        vals = [
+            s.bandwidth_bps / 1e9
+            for s in self.segments
+            if (s.kind in CONV_LIKE) == conv_like and s.dram_bytes > 0
+        ]
+        return max(vals) if vals else 0.0
+
+    def mean_bandwidth_gbs(self, conv_like: bool) -> float:
+        vals = [
+            s.bandwidth_bps / 1e9
+            for s in self.segments
+            if (s.kind in CONV_LIKE) == conv_like and s.dram_bytes > 0
+        ]
+        return float(np.mean(vals)) if vals else 0.0
+
+
+def run(batch: int = 120) -> Figure3Result:
+    graph = build_model("densenet121", batch=batch)
+    cost = simulate(graph, SKYLAKE_2S)
+    return Figure3Result(
+        segments=iteration_timeline(cost),
+        peak_bandwidth_gbs=SKYLAKE_2S.dram_bandwidth / 1e9,
+    )
+
+
+def render(result: Figure3Result) -> str:
+    # Down-sample the forward pass into a readable strip of segments.
+    fwd = [s for s in result.segments if s.phase == "fwd"][:40]
+    series = format_figure_series(
+        "Figure 3: bandwidth over time (first 40 forward segments)",
+        [f"{s.kind.value}" for s in fwd],
+        [s.bandwidth_bps / 1e9 for s in fwd],
+        x_label="layer", y_label="GB/s",
+    )
+    summary = (
+        f"\nmax non-CONV bandwidth: {result.max_bandwidth_gbs(False):.1f} GB/s"
+        f" (peak {result.peak_bandwidth_gbs:.1f})"
+        f"\nmax CONV bandwidth:     {result.max_bandwidth_gbs(True):.1f} GB/s"
+        f" (paper: ~120)"
+    )
+    return series + summary

@@ -1,0 +1,111 @@
+"""Figure 7: the headline evaluation — time and memory accesses per
+iteration under RCF, RCF+MVF, BNFF and BNFF+ICF, for DenseNet-121 and
+ResNet-50 on Skylake (mini-batch 120).
+
+Paper numbers (measured except ICF, which the authors estimated):
+
+=============  ==========  =========
+scenario       DenseNet    ResNet-50
+=============  ==========  =========
+RCF              9.2%         -
+RCF+MVF         10.9%         -
+BNFF            25.7%       16.1%
+  forward       47.9%       30.8%
+  backward      15.4%        9.0%
+BNFF+ICF        43.7% (est)   n/a
+=============  ==========  =========
+
+plus: BNFF reduces memory accesses by 19.1% (DenseNet) and ReLU accounts
+for 16.8% of baseline accesses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.analysis.scenarios import (
+    ScenarioResult,
+    compare_scenarios,
+    paper_style_icf_estimate,
+)
+from repro.analysis.tables import format_table
+from repro.graph.node import OpKind
+from repro.hw.presets import SKYLAKE_2S
+
+PAPER = {
+    "densenet121": {
+        "rcf": 0.092, "rcf_mvf": 0.109, "bnff": 0.257,
+        "bnff_fwd": 0.479, "bnff_bwd": 0.154,
+        "bnff_icf_estimated": 0.437,
+        "dram_reduction": 0.191,
+        "relu_access_share": 0.168,
+    },
+    "resnet50": {
+        "bnff": 0.161, "bnff_fwd": 0.308, "bnff_bwd": 0.090,
+    },
+}
+
+
+@dataclass(frozen=True)
+class Figure7Result:
+    results: Dict[str, List[ScenarioResult]]  # model -> scenarios
+    icf_paper_style: Dict[str, float]
+
+    def of(self, model: str, scenario: str) -> ScenarioResult:
+        for r in self.results[model]:
+            if r.scenario == scenario:
+                return r
+        raise KeyError((model, scenario))
+
+    def relu_access_share(self, model: str) -> float:
+        base = self.of(model, "baseline").cost
+        return base.dram_bytes_by_kind().get(OpKind.RELU, 0) / base.dram_bytes
+
+
+def run(batch: int = 120) -> Figure7Result:
+    results = {
+        model: compare_scenarios(model, SKYLAKE_2S, batch=batch)
+        for model in ("densenet121", "resnet50")
+    }
+    return Figure7Result(
+        results=results,
+        icf_paper_style={
+            m: paper_style_icf_estimate(rs) for m, rs in results.items()
+        },
+    )
+
+
+def render(result: Figure7Result) -> str:
+    blocks = []
+    for model, rs in result.results.items():
+        rows = [
+            (
+                r.scenario,
+                r.cost.total_time_s,
+                f"{r.total_gain * 100:.1f}%",
+                f"{r.fwd_gain * 100:.1f}%",
+                f"{r.bwd_gain * 100:.1f}%",
+                r.cost.dram_bytes / 1e9,
+                f"{r.dram_reduction * 100:.1f}%",
+            )
+            for r in rs
+        ]
+        blocks.append(
+            format_table(
+                ["scenario", "iter (s)", "gain", "fwd gain", "bwd gain",
+                 "DRAM (GB)", "DRAM cut"],
+                rows,
+                title=f"Figure 7: {model} (Skylake 2S, batch 120)",
+            )
+        )
+        blocks.append(
+            f"paper-style ICF extrapolation: "
+            f"{result.icf_paper_style[model] * 100:.1f}% "
+            f"(paper estimated 43.7% for densenet121)"
+        )
+        blocks.append(
+            f"ReLU share of baseline accesses: "
+            f"{result.relu_access_share(model) * 100:.1f}% (paper: 16.8%)"
+        )
+    return "\n\n".join(blocks)

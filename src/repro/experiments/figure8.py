@@ -1,0 +1,62 @@
+"""Figure 8: baseline vs BNFF at full (230.4 GB/s) and half (115.2 GB/s)
+memory bandwidth, DenseNet-121 on Skylake.
+
+Paper findings: at half bandwidth the baseline's non-CONV share grows from
+58.9% to 63.0%, and BNFF's gain grows from 25.7% to 30.1% — BNFF matters
+more as the compute/bandwidth gap widens (the stated trend for future
+accelerators).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.analysis.bandwidth import BandwidthPoint, bandwidth_sweep
+from repro.analysis.tables import format_table
+from repro.hw.presets import SKYLAKE_2S
+
+BANDWIDTHS_GBS = (230.4, 115.2)
+
+PAPER = {
+    "bnff_gain_full": 0.257,
+    "bnff_gain_half": 0.301,
+    "non_conv_share_full": 0.589,
+    "non_conv_share_half": 0.630,
+}
+
+
+@dataclass(frozen=True)
+class Figure8Result:
+    points: List[BandwidthPoint]
+
+    def at(self, gbs: float) -> BandwidthPoint:
+        for p in self.points:
+            if abs(p.bandwidth_gbs - gbs) < 1e-9:
+                return p
+        raise KeyError(gbs)
+
+
+def run(batch: int = 120) -> Figure8Result:
+    return Figure8Result(
+        bandwidth_sweep("densenet121", SKYLAKE_2S, BANDWIDTHS_GBS, batch=batch)
+    )
+
+
+def render(result: Figure8Result) -> str:
+    rows = [
+        (
+            f"{p.bandwidth_gbs:.1f} GB/s",
+            p.baseline.total_time_s,
+            p.bnff.total_time_s,
+            f"{p.bnff_gain * 100:.1f}%",
+            f"{p.baseline_non_conv_share * 100:.1f}%",
+        )
+        for p in result.points
+    ]
+    return format_table(
+        ["bandwidth", "baseline (s)", "BNFF (s)", "BNFF gain",
+         "baseline non-CONV"],
+        rows,
+        title="Figure 8: DenseNet-121 vs memory bandwidth (Skylake 2S)",
+    )

@@ -1,0 +1,52 @@
+"""CLI: regenerate any paper artifact from the command line.
+
+Usage::
+
+    python -m repro.experiments            # run everything
+    python -m repro.experiments fig7 tab1  # run a subset
+    repro-experiments --list               # show available ids
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.experiments import EXPERIMENTS
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate tables/figures from 'Restructuring Batch "
+                    "Normalization to Accelerate CNN Training' (MLSys 2019).",
+    )
+    parser.add_argument("ids", nargs="*",
+                        help="experiment ids (default: all)")
+    parser.add_argument("--list", action="store_true",
+                        help="list available experiment ids and exit")
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for eid, module in EXPERIMENTS.items():
+            doc = (module.__doc__ or "").strip().splitlines()[0]
+            print(f"{eid:6s} {doc}")
+        return 0
+
+    ids = args.ids or list(EXPERIMENTS)
+    unknown = [i for i in ids if i not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment ids: {unknown}; use --list", file=sys.stderr)
+        return 2
+
+    for eid in ids:
+        module = EXPERIMENTS[eid]
+        print("=" * 72)
+        print(module.render(module.run()))
+        print()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

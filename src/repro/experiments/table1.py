@@ -1,0 +1,47 @@
+"""Table 1: peak single-precision FLOPS and memory bandwidth per machine.
+
+Static hardware facts; the bench verifies our frozen presets carry exactly
+the paper's numbers so every downstream simulation is anchored to them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.analysis.tables import format_table
+from repro.hw.presets import TABLE1_ARCHITECTURES
+from repro.hw.spec import HardwareSpec
+
+#: (name, TFLOPS, GB/s) exactly as printed in the paper.
+PAPER: Tuple[Tuple[str, float, float], ...] = (
+    ("Intel Xeon Skylake (2-socket)", 3.34, 230.4),
+    ("Intel Xeon Phi Knights Landing", 5.30, 400.0),
+    ("Nvidia GPU Pascal Titan X", 10.0, 480.0),
+)
+
+
+@dataclass(frozen=True)
+class Table1Result:
+    rows: List[Tuple[str, float, float]]  # (preset name, TFLOPS, GB/s)
+
+
+def run() -> Table1Result:
+    return Table1Result(
+        rows=[
+            (hw.name, hw.peak_flops / 1e12, hw.dram_bandwidth / 1e9)
+            for hw in TABLE1_ARCHITECTURES
+        ]
+    )
+
+
+def render(result: Table1Result) -> str:
+    rows = [
+        (name, f"{tflops:.2f}", f"{gbs:.1f}")
+        for name, tflops, gbs in result.rows
+    ]
+    return format_table(
+        ["architecture", "TFLOPS", "memory BW (GB/s)"],
+        rows,
+        title="Table 1: peak performance of the evaluated architectures",
+    )

@@ -1,0 +1,29 @@
+"""Layer-graph IR with first-class memory-sweep accounting.
+
+The paper reasons about training dataflow in units of *memory sweeps*
+(Figure 5): full reads or writes of a mini-batch tensor that are too large
+for on-chip caches. This package makes that ledger explicit: every node
+carries the list of sweeps its forward and backward execution performs, and
+the restructuring passes in :mod:`repro.passes` transform graphs by moving
+and deleting ledger entries with the exact semantics the paper describes.
+"""
+
+from repro.graph.node import Node, OpKind
+from repro.graph.sweeps import Direction, Sweep, attach_reference_sweeps
+from repro.graph.graph import LayerGraph
+from repro.graph.builder import GraphBuilder
+from repro.graph.serialize import graph_to_dict, graph_from_dict, save_graph, load_graph
+
+__all__ = [
+    "Node",
+    "OpKind",
+    "Direction",
+    "Sweep",
+    "attach_reference_sweeps",
+    "LayerGraph",
+    "GraphBuilder",
+    "graph_to_dict",
+    "graph_from_dict",
+    "save_graph",
+    "load_graph",
+]

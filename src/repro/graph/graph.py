@@ -1,0 +1,177 @@
+"""LayerGraph: an ordered, validated DAG of nodes over named tensors."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from repro.errors import GraphError
+from repro.graph.node import Node, OpKind
+from repro.tensors.tensor_spec import TensorSpec
+
+
+class LayerGraph:
+    """Ordered DAG of :class:`~repro.graph.node.Node` over named tensors.
+
+    Nodes are stored in topological (execution) order — the forward schedule
+    is the node list, the backward schedule its reverse, exactly how the
+    sequential frameworks the paper instruments execute. Restructuring
+    passes mutate nodes/edges in place but must keep the order topological;
+    :meth:`validate` checks the invariants and is called by every pass and
+    test.
+    """
+
+    def __init__(self, name: str = "graph"):
+        self.name = name
+        self.nodes: List[Node] = []
+        self.tensors: Dict[str, TensorSpec] = {}
+        self._producer: Dict[str, str] = {}  # tensor -> node name
+        self._node_index: Dict[str, Node] = {}
+
+    # -- construction --------------------------------------------------------
+    def add_tensor(self, spec: TensorSpec) -> TensorSpec:
+        if spec.name in self.tensors:
+            raise GraphError(f"duplicate tensor {spec.name!r}")
+        self.tensors[spec.name] = spec
+        return spec
+
+    def add_node(self, node: Node, position: Optional[int] = None) -> Node:
+        """Append (or insert) a node; inputs must already have producers
+        unless they are graph inputs (DATA outputs or WEIGHT tensors)."""
+        if node.name in self._node_index:
+            raise GraphError(f"duplicate node {node.name!r}")
+        for t in node.inputs:
+            if t not in self.tensors:
+                raise GraphError(f"{node.name}: unknown input tensor {t!r}")
+        for t in node.outputs:
+            if t not in self.tensors:
+                raise GraphError(f"{node.name}: unknown output tensor {t!r}")
+            if t in self._producer:
+                raise GraphError(
+                    f"{node.name}: tensor {t!r} already produced by "
+                    f"{self._producer[t]!r}"
+                )
+            self._producer[t] = node.name
+        if position is None:
+            self.nodes.append(node)
+        else:
+            self.nodes.insert(position, node)
+        self._node_index[node.name] = node
+        return node
+
+    def remove_node(self, name: str) -> Node:
+        """Remove a node; its outputs lose their producer (caller rewires)."""
+        node = self.node(name)
+        self.nodes.remove(node)
+        del self._node_index[name]
+        for t in node.outputs:
+            self._producer.pop(t, None)
+        return node
+
+    # -- queries -------------------------------------------------------------
+    def node(self, name: str) -> Node:
+        try:
+            return self._node_index[name]
+        except KeyError:
+            raise GraphError(f"no node named {name!r}") from None
+
+    def has_node(self, name: str) -> bool:
+        return name in self._node_index
+
+    def tensor(self, name: str) -> TensorSpec:
+        try:
+            return self.tensors[name]
+        except KeyError:
+            raise GraphError(f"no tensor named {name!r}") from None
+
+    def producer_of(self, tensor: str) -> Optional[Node]:
+        name = self._producer.get(tensor)
+        return self._node_index[name] if name else None
+
+    def consumers_of(self, tensor: str) -> List[Node]:
+        return [n for n in self.nodes if tensor in n.inputs]
+
+    def index_of(self, name: str) -> int:
+        for i, n in enumerate(self.nodes):
+            if n.name == name:
+                return i
+        raise GraphError(f"no node named {name!r}")
+
+    def nodes_of_kind(self, *kinds: OpKind) -> List[Node]:
+        wanted = set(kinds)
+        return [n for n in self.nodes if n.kind in wanted]
+
+    def feature_tensors(self) -> Iterable[TensorSpec]:
+        from repro.tensors.tensor_spec import TensorKind
+
+        return (t for t in self.tensors.values() if t.kind == TensorKind.FEATURE)
+
+    # -- invariants ------------------------------------------------------------
+    def validate(self) -> None:
+        """Check structural invariants; raises :class:`GraphError` on failure.
+
+        * every node input is produced by an earlier node, or is a weight /
+          parameter tensor with no producer;
+        * every sweep in every ledger references a known tensor;
+        * node order is topological.
+        """
+        from repro.tensors.tensor_spec import TensorKind
+
+        seen: set = set()
+        for node in self.nodes:
+            for t in node.inputs:
+                spec = self.tensor(t)
+                producer = self._producer.get(t)
+                if producer is None:
+                    if spec.kind == TensorKind.FEATURE:
+                        raise GraphError(
+                            f"{node.name}: feature input {t!r} has no producer"
+                        )
+                elif t not in seen:
+                    raise GraphError(
+                        f"{node.name}: input {t!r} produced by {producer!r} "
+                        f"which has not executed yet (order not topological)"
+                    )
+            for t in node.outputs:
+                seen.add(t)
+            for sweep in list(node.fwd_sweeps) + list(node.bwd_sweeps):
+                if sweep.tensor not in self.tensors:
+                    raise GraphError(
+                        f"{node.name}: sweep references unknown tensor "
+                        f"{sweep.tensor!r}"
+                    )
+
+    # -- summaries ---------------------------------------------------------------
+    def sweep_count(self) -> int:
+        return sum(len(n.fwd_sweeps) + len(n.bwd_sweeps) for n in self.nodes)
+
+    def clone(self) -> "LayerGraph":
+        """Deep-enough copy: nodes and ledgers are fresh, specs shared
+        (immutable)."""
+        import copy
+
+        g = LayerGraph(self.name)
+        g.tensors = dict(self.tensors)
+        g._producer = dict(self._producer)
+        for node in self.nodes:
+            clone = Node(
+                name=node.name,
+                kind=node.kind,
+                inputs=list(node.inputs),
+                outputs=list(node.outputs),
+                attrs=copy.deepcopy(node.attrs),
+                fwd_sweeps=list(node.fwd_sweeps),
+                bwd_sweeps=list(node.bwd_sweeps),
+                fwd_invocations=node.fwd_invocations,
+                bwd_invocations=node.bwd_invocations,
+                fused_from=list(node.fused_from),
+                region=node.region,
+            )
+            g.nodes.append(clone)
+            g._node_index[clone.name] = clone
+        return g
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"LayerGraph({self.name}: {len(self.nodes)} nodes, "
+            f"{len(self.tensors)} tensors)"
+        )

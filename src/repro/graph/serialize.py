@@ -1,0 +1,123 @@
+"""Graph (de)serialization: dump a layer graph — ledger included — to JSON.
+
+Lets users inspect restructured graphs outside Python, diff baseline vs
+BNFF ledgers with text tools, and snapshot graphs for regression tests.
+Round-trips everything: tensors, nodes, attributes, sweeps, invocation
+counts, fusion provenance.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.graph.graph import LayerGraph
+from repro.graph.node import Node, OpKind
+from repro.graph.sweeps import Direction, Sweep
+from repro.tensors.tensor_spec import TensorKind, TensorSpec
+
+#: Format version; bumped on any incompatible schema change.
+SCHEMA_VERSION = 1
+
+
+def graph_to_dict(graph: LayerGraph) -> Dict[str, Any]:
+    """Serialize *graph* to a JSON-compatible dictionary."""
+    return {
+        "schema": SCHEMA_VERSION,
+        "name": graph.name,
+        "tensors": [
+            {
+                "name": t.name,
+                "shape": list(t.shape),
+                "kind": t.kind.value,
+                "dtype": t.dtype.name,
+            }
+            for t in graph.tensors.values()
+        ],
+        "nodes": [_node_to_dict(n) for n in graph.nodes],
+    }
+
+
+def _node_to_dict(node: Node) -> Dict[str, Any]:
+    return {
+        "name": node.name,
+        "kind": node.kind.value,
+        "inputs": list(node.inputs),
+        "outputs": list(node.outputs),
+        "attrs": node.attrs,
+        "region": node.region,
+        "fwd_invocations": node.fwd_invocations,
+        "bwd_invocations": node.bwd_invocations,
+        "fused_from": list(node.fused_from),
+        "fwd_sweeps": [_sweep_to_dict(s) for s in node.fwd_sweeps],
+        "bwd_sweeps": [_sweep_to_dict(s) for s in node.bwd_sweeps],
+    }
+
+
+def _sweep_to_dict(sweep: Sweep) -> Dict[str, Any]:
+    return {
+        "tensor": sweep.tensor,
+        "direction": sweep.direction.value,
+        "tag": sweep.tag,
+        "grad": sweep.grad,
+        "origin": sweep.origin,
+        "note": sweep.note,
+    }
+
+
+def graph_from_dict(data: Dict[str, Any]) -> LayerGraph:
+    """Rebuild a graph from :func:`graph_to_dict` output."""
+    if data.get("schema") != SCHEMA_VERSION:
+        raise GraphError(
+            f"unsupported graph schema {data.get('schema')!r}; "
+            f"expected {SCHEMA_VERSION}"
+        )
+    graph = LayerGraph(data["name"])
+    for t in data["tensors"]:
+        graph.add_tensor(TensorSpec(
+            t["name"], tuple(t["shape"]),
+            kind=TensorKind(t["kind"]), dtype=np.dtype(t["dtype"]),
+        ))
+    for n in data["nodes"]:
+        node = Node(
+            name=n["name"],
+            kind=OpKind(n["kind"]),
+            inputs=list(n["inputs"]),
+            outputs=list(n["outputs"]),
+            attrs=dict(n["attrs"]),
+            region=n["region"],
+            fwd_invocations=n["fwd_invocations"],
+            bwd_invocations=n["bwd_invocations"],
+            fused_from=list(n["fused_from"]),
+            fwd_sweeps=[_sweep_from_dict(s) for s in n["fwd_sweeps"]],
+            bwd_sweeps=[_sweep_from_dict(s) for s in n["bwd_sweeps"]],
+        )
+        graph.add_node(node)
+    graph.validate()
+    return graph
+
+
+def _sweep_from_dict(data: Dict[str, Any]) -> Sweep:
+    return Sweep(
+        tensor=data["tensor"],
+        direction=Direction(data["direction"]),
+        tag=data["tag"],
+        grad=data["grad"],
+        origin=data["origin"],
+        note=data["note"],
+    )
+
+
+def save_graph(graph: LayerGraph, path: str) -> None:
+    """Write *graph* to a JSON file."""
+    with open(path, "w") as fh:
+        json.dump(graph_to_dict(graph), fh, indent=1)
+
+
+def load_graph(path: str) -> LayerGraph:
+    """Read a graph previously written by :func:`save_graph`."""
+    with open(path) as fh:
+        return graph_from_dict(json.load(fh))

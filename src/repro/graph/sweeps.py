@@ -1,0 +1,221 @@
+"""The memory-sweep ledger: reference per-layer sweep generation.
+
+Tags are load-bearing: restructuring passes locate the sweeps they remove or
+move by tag, and tests pin the exact reference ledger so a regression in
+either place is caught immediately. The reference ledger below is the
+baseline dataflow of the paper's Figure 5 plus the standard framework
+behaviour for the remaining layer kinds (Section 5 of DESIGN.md).
+
+A sweep's ``tensor`` always names the *forward* tensor; ``grad=True`` means
+the same-shaped gradient tensor is swept instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from enum import Enum
+from typing import List, Tuple
+
+from repro.errors import GraphError
+from repro.graph.node import Node, OpKind
+
+
+class Direction(Enum):
+    READ = "R"
+    WRITE = "W"
+
+
+@dataclass(frozen=True)
+class Sweep:
+    """One full pass over a mini-batch tensor.
+
+    Attributes
+    ----------
+    tensor:
+        Forward-tensor name in the graph.
+    direction:
+        READ or WRITE.
+    tag:
+        Purpose of the sweep (``"read_x_mean"``, ``"write_dx"``, ...);
+        passes match on this.
+    grad:
+        Whether the sweep touches the tensor's gradient instead of its data.
+    origin:
+        Name of the node that *semantically* owns the work — stays stable
+        when fusion moves the sweep onto another node, so reports can
+        attribute traffic to the original layer type.
+    note:
+        Free-form annotation (e.g. which pass moved or retagged it).
+    """
+
+    tensor: str
+    direction: Direction
+    tag: str
+    grad: bool = False
+    origin: str = ""
+    note: str = ""
+
+    def retagged(self, tag: str, note: str = "") -> "Sweep":
+        return replace(self, tag=tag, note=note or self.note)
+
+
+def _r(tensor: str, tag: str, origin: str, grad: bool = False) -> Sweep:
+    return Sweep(tensor, Direction.READ, tag, grad=grad, origin=origin)
+
+
+def _w(tensor: str, tag: str, origin: str, grad: bool = False) -> Sweep:
+    return Sweep(tensor, Direction.WRITE, tag, grad=grad, origin=origin)
+
+
+def attach_reference_sweeps(node: Node) -> None:
+    """Populate *node*'s ledger with the baseline (unrestructured) sweeps.
+
+    Also sets the per-pass primitive invocation counts (CONV backward is two
+    primitives: bwd-data and bwd-weights, as in MKL-DNN).
+    """
+    fwd, bwd = _reference_sweeps(node)
+    node.fwd_sweeps = fwd
+    node.bwd_sweeps = bwd
+    node.fwd_invocations, node.bwd_invocations = _reference_invocations(node)
+
+
+def _reference_invocations(node: Node) -> Tuple[int, int]:
+    if node.kind in (OpKind.CONV, OpKind.FC):
+        return 1, 2
+    if node.kind == OpKind.DATA:
+        return 1, 0
+    if node.kind == OpKind.SPLIT:
+        return 0, 1  # forward is pointer passing, no primitive call
+    return 1, 1
+
+
+def _reference_sweeps(node: Node) -> Tuple[List[Sweep], List[Sweep]]:
+    k, n = node.kind, node.name
+    ins, outs = node.inputs, node.outputs
+
+    if k == OpKind.DATA:
+        return [_w(outs[0], "write_y", n)], []
+
+    if k in (OpKind.CONV, OpKind.FC):
+        x, w = ins[0], node.attrs["weight"]
+        y = outs[0]
+        fwd = [
+            _r(x, "read_x", n),
+            _r(w, "read_w", n),
+            _w(y, "write_y", n),
+        ]
+        bwd = [
+            # bwd-data primitive: dX = dY (*) W^T
+            _r(y, "read_dy_data", n, grad=True),
+            _r(w, "read_w_data", n),
+            _w(x, "write_dx", n, grad=True),
+            # bwd-weights primitive: dW = X (*) dY
+            _r(x, "read_x_weights", n),
+            _r(y, "read_dy_weights", n, grad=True),
+            _w(w, "write_dw", n, grad=True),
+        ]
+        return fwd, bwd
+
+    if k == OpKind.BN:
+        x, y = ins[0], outs[0]
+        fwd = [
+            _r(x, "read_x_mean", n),
+            _r(x, "read_x_var", n),
+            _r(x, "read_x_normalize", n),
+            _w(y, "write_y", n),
+        ]
+        bwd = [
+            # pass 1 (sub-BN2'): dgamma/dbeta reductions
+            _r(y, "read_dy_pgrads", n, grad=True),
+            _r(x, "read_x_pgrads", n),
+            # pass 2 (sub-BN1'): input gradient
+            _r(y, "read_dy_dx", n, grad=True),
+            _r(x, "read_x_dx", n),
+            _w(x, "write_dx", n, grad=True),
+        ]
+        return fwd, bwd
+
+    if k == OpKind.BN_STATS:
+        # sub-BN1 forward: the two statistics reads; sub-BN1' backward: the
+        # input-gradient pass. ``y_grad_source`` names the BN output tensor
+        # whose gradient the input-grad pass consumes.
+        x = ins[0]
+        ysrc = node.attrs["y_grad_source"]
+        fwd = [
+            _r(x, "read_x_mean", n),
+            _r(x, "read_x_var", n),
+        ]
+        bwd = [
+            _r(ysrc, "read_dy_dx", n, grad=True),
+            _r(x, "read_x_dx", n),
+            _w(x, "write_dx", n, grad=True),
+        ]
+        return fwd, bwd
+
+    if k == OpKind.BN_NORM:
+        # sub-BN2 forward: normalize; sub-BN2' backward: dgamma/dbeta.
+        x, y = ins[0], outs[0]
+        fwd = [
+            _r(x, "read_x_normalize", n),
+            _w(y, "write_y", n),
+        ]
+        bwd = [
+            _r(y, "read_dy_pgrads", n, grad=True),
+            _r(x, "read_x_pgrads", n),
+        ]
+        return fwd, bwd
+
+    if k == OpKind.RELU:
+        x, y = ins[0], outs[0]
+        fwd = [_r(x, "read_x", n), _w(y, "write_y", n)]
+        bwd = [
+            _r(y, "read_dy", n, grad=True),
+            _r(y, "read_mask", n),
+            _w(x, "write_dx", n, grad=True),
+        ]
+        return fwd, bwd
+
+    if k in (OpKind.POOL_MAX, OpKind.POOL_AVG, OpKind.POOL_GLOBAL):
+        x, y = ins[0], outs[0]
+        fwd = [_r(x, "read_x", n), _w(y, "write_y", n)]
+        bwd = [_r(y, "read_dy", n, grad=True), _w(x, "write_dx", n, grad=True)]
+        if k == OpKind.POOL_MAX:
+            # Max pooling stores an argmax mask in forward and re-reads it in
+            # backward (Caffe behaviour).
+            bwd.insert(1, _r(y, "read_argmax", n))
+        return fwd, bwd
+
+    if k == OpKind.CONCAT:
+        y = outs[0]
+        fwd = [_r(x, "read_x", n) for x in ins] + [_w(y, "write_y", n)]
+        bwd = [_r(y, "read_dy", n, grad=True)] + [
+            _w(x, "write_dx", n, grad=True) for x in ins
+        ]
+        return fwd, bwd
+
+    if k == OpKind.SPLIT:
+        # Forward: pointer passing, no data movement (paper, Section 3.1).
+        # Backward: gradient accumulation across all consumers is real
+        # traffic (paper, Section 5).
+        x = ins[0]
+        fwd: List[Sweep] = []
+        bwd = [_r(y, "read_dy", n, grad=True) for y in outs] + [
+            _w(x, "write_dx", n, grad=True)
+        ]
+        return fwd, bwd
+
+    if k == OpKind.EWS:
+        y = outs[0]
+        fwd = [_r(x, "read_x", n) for x in ins] + [_w(y, "write_y", n)]
+        bwd = [_r(y, "read_dy", n, grad=True)] + [
+            _w(x, "write_dx", n, grad=True) for x in ins
+        ]
+        return fwd, bwd
+
+    if k == OpKind.LOSS:
+        x = ins[0]
+        fwd = [_r(x, "read_x", n)]
+        bwd = [_w(x, "write_dx", n, grad=True)]
+        return fwd, bwd
+
+    raise GraphError(f"no reference ledger for op kind {k}")

@@ -1,0 +1,34 @@
+"""Hardware models: the simulated chip multiprocessors of Table 1.
+
+The paper measures on real Skylake Xeon / Knights Landing / Pascal silicon;
+we substitute an analytical machine model (DESIGN.md Section 2): peak FMA
+throughput for convolutions, SIMD elementwise throughput for the
+memory-lean layers, a streaming DRAM bandwidth with an efficiency factor, a
+last-level-cache capacity that decides which tensors' sweeps reach DRAM,
+and a fixed per-primitive invocation overhead. Constants are calibrated
+once in :mod:`repro.hw.presets` and frozen for every experiment.
+"""
+
+from repro.hw.spec import HardwareSpec
+from repro.hw.cache import CacheModel
+from repro.hw.presets import (
+    SKYLAKE_2S,
+    SKYLAKE_2S_HALF_BW,
+    KNIGHTS_LANDING,
+    PASCAL_TITAN_X,
+    PASCAL_TITAN_X_CUTLASS,
+    TABLE1_ARCHITECTURES,
+    get_preset,
+)
+
+__all__ = [
+    "HardwareSpec",
+    "CacheModel",
+    "SKYLAKE_2S",
+    "SKYLAKE_2S_HALF_BW",
+    "KNIGHTS_LANDING",
+    "PASCAL_TITAN_X",
+    "PASCAL_TITAN_X_CUTLASS",
+    "TABLE1_ARCHITECTURES",
+    "get_preset",
+]

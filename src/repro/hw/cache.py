@@ -1,0 +1,40 @@
+"""Cache model: which memory sweeps actually reach DRAM.
+
+The paper's premise (Section 3.1): at mini-batch sizes of ~100+, feature
+maps are hundreds of megabytes, far beyond on-chip capacity, so every sweep
+of a feature tensor is DRAM traffic; per-channel vectors and (most) weight
+tensors stay resident. This model makes that decision per tensor from its
+byte size and kind — nothing else, so it is easy to reason about and to
+test. At toy scales everything fits and simulated traffic collapses to
+zero, which is the correct degenerate behaviour (the functional executor,
+not the simulator, is the tool for toy graphs).
+"""
+
+from __future__ import annotations
+
+from repro.hw.spec import HardwareSpec
+from repro.tensors.tensor_spec import TensorKind, TensorSpec
+
+
+class CacheModel:
+    """Decides DRAM-vs-resident per tensor for one hardware spec."""
+
+    def __init__(self, hw: HardwareSpec):
+        self.hw = hw
+        self._fit_bytes = int(hw.llc_bytes * hw.cache_fit_fraction)
+
+    def is_resident(self, tensor: TensorSpec) -> bool:
+        """True if sweeps of *tensor* are filtered by on-chip caches.
+
+        Channel-stat and scalar tensors are always resident (kilobytes).
+        Weight and feature tensors are resident iff they fit in the cache
+        share a single tensor can claim; the reuse distance of a mini-batch
+        feature map spans the whole layer, so "fits" is the right test.
+        """
+        if tensor.kind in (TensorKind.CHANNEL_STAT, TensorKind.SCALAR):
+            return True
+        return tensor.size_bytes <= self._fit_bytes
+
+    def dram_bytes(self, tensor: TensorSpec) -> int:
+        """DRAM cost of one full sweep of *tensor* (0 if resident)."""
+        return 0 if self.is_resident(tensor) else tensor.size_bytes

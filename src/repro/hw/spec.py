@@ -1,0 +1,156 @@
+"""HardwareSpec: the analytical machine description the simulator runs on."""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.errors import HardwareSpecError
+
+
+@dataclass(frozen=True)
+class HardwareSpec:
+    """A chip multiprocessor for the roofline performance model.
+
+    All throughput numbers are *peak*; achievable fractions are the
+    ``*_efficiency`` fields. Every experiment uses the frozen presets from
+    :mod:`repro.hw.presets` — there is deliberately no per-experiment tuning
+    surface.
+
+    Attributes
+    ----------
+    peak_flops:
+        Peak single-precision FMA throughput (FLOP/s) — Table 1's TFLOPS.
+    elementwise_ops:
+        Peak SIMD throughput for non-FMA elementwise work (op/s). Roughly
+        ``peak_flops / 2`` on FMA machines: one op per lane per cycle.
+    dram_bandwidth:
+        Peak main-memory bandwidth (B/s) — Table 1's GB/s.
+    llc_bytes:
+        On-chip cache capacity. A tensor is cache-resident (its sweeps cost
+        no DRAM traffic) if it fits in ``llc_bytes * cache_fit_fraction``.
+    cache_fit_fraction:
+        Fraction of the LLC a single tensor may claim and still be
+        considered resident across its reuse distance.
+    stream_efficiency:
+        Achievable fraction of peak bandwidth for streaming sweeps.
+    elementwise_efficiency:
+        Achievable fraction of ``elementwise_ops`` for the lean layers.
+    conv_efficiency_by_kernel:
+        Achieved fraction of ``peak_flops`` for convolutions, by kernel
+        size; small kernels reuse less and run further from peak.
+    fc_efficiency:
+        Achieved fraction of peak for FC GEMMs (tall-skinny, lower).
+    bwd_efficiency_scale:
+        Multiplier on conv/FC efficiency in the backward passes (gradient
+        GEMMs are less regular; the paper observes heavier backward CONV).
+    call_overhead_s:
+        Fixed cost per primitive invocation (dispatch, setup, cache
+        repriming). Fusion removes invocations, which the paper credits as
+        a secondary win ("fewer subroutine calls... also contribute").
+    write_allocate_factor:
+        DRAM cost multiplier for WRITE sweeps. Ordinary cached stores incur
+        a read-for-ownership before the writeback, doubling the traffic of
+        a streaming write (2.0); kernels using non-temporal stores avoid it
+        (1.0). The Caffe-era layer implementations the paper instruments
+        use regular stores.
+    conv_traffic_factor:
+        Multiplier on CONV/FC ledger sweeps. Blocked direct convolutions
+        tile their output channels and re-read the input feature map once
+        per tile (and mirror that in both backward halves), so a real
+        kernel moves more DRAM bytes than the one-sweep-per-tensor ideal.
+        Elementwise layers stream each tensor exactly once and get no
+        factor.
+    """
+
+    name: str
+    peak_flops: float
+    elementwise_ops: float
+    dram_bandwidth: float
+    llc_bytes: int
+    cache_fit_fraction: float = 0.5
+    stream_efficiency: float = 0.85
+    elementwise_efficiency: float = 0.70
+    write_allocate_factor: float = 2.0
+    conv_traffic_factor: float = 1.5
+    conv_efficiency_by_kernel: Dict[int, float] = field(
+        default_factory=lambda: {1: 0.55, 3: 0.72, 5: 0.75, 7: 0.75, 11: 0.75}
+    )
+    fc_efficiency: float = 0.45
+    bwd_efficiency_scale: float = 0.85
+    call_overhead_s: float = 50e-6
+
+    def __post_init__(self) -> None:
+        for fld in ("peak_flops", "elementwise_ops", "dram_bandwidth"):
+            if getattr(self, fld) <= 0:
+                raise HardwareSpecError(f"{self.name}: {fld} must be positive")
+        if self.llc_bytes <= 0:
+            raise HardwareSpecError(f"{self.name}: llc_bytes must be positive")
+        for fld in ("cache_fit_fraction", "stream_efficiency",
+                    "elementwise_efficiency", "fc_efficiency",
+                    "bwd_efficiency_scale"):
+            v = getattr(self, fld)
+            if not (0.0 < v <= 1.0):
+                raise HardwareSpecError(
+                    f"{self.name}: {fld} must be in (0, 1], got {v}"
+                )
+        if self.conv_traffic_factor < 1.0:
+            raise HardwareSpecError(
+                f"{self.name}: conv_traffic_factor must be >= 1, got "
+                f"{self.conv_traffic_factor}"
+            )
+        if not (1.0 <= self.write_allocate_factor <= 2.0):
+            raise HardwareSpecError(
+                f"{self.name}: write_allocate_factor must be in [1, 2], got "
+                f"{self.write_allocate_factor}"
+            )
+
+    # -- derived throughputs ------------------------------------------------------
+    def conv_efficiency(self, kernel: int) -> float:
+        """Achieved fraction of peak for a square *kernel* convolution."""
+        table = self.conv_efficiency_by_kernel
+        if kernel in table:
+            return table[kernel]
+        # Fall back to the nearest known kernel size.
+        nearest = min(table, key=lambda k: abs(k - kernel))
+        return table[nearest]
+
+    def effective_bandwidth(self) -> float:
+        return self.dram_bandwidth * self.stream_efficiency
+
+    def effective_elementwise(self) -> float:
+        return self.elementwise_ops * self.elementwise_efficiency
+
+    @property
+    def flop_per_byte(self) -> float:
+        """Machine balance (Section 3.1's FLOP/B argument)."""
+        return self.peak_flops / self.dram_bandwidth
+
+    # -- variants ---------------------------------------------------------------
+    def with_bandwidth(self, dram_bandwidth: float, suffix: str = "") -> "HardwareSpec":
+        """Copy with a different peak DRAM bandwidth (Figure 8's knob)."""
+        label = suffix or f"@{dram_bandwidth / 1e9:.1f}GB/s"
+        return dataclasses.replace(
+            self, name=f"{self.name}{label}", dram_bandwidth=dram_bandwidth
+        )
+
+    def with_infinite_bandwidth(self) -> "HardwareSpec":
+        """Copy with effectively unlimited bandwidth (Figure 4's hypothetical).
+
+        Uses a huge finite number to keep the arithmetic well-defined.
+        """
+        return dataclasses.replace(
+            self, name=f"{self.name}@infBW", dram_bandwidth=math.inf
+        )
+
+    def with_conv_efficiency_scale(self, scale: float, suffix: str) -> "HardwareSpec":
+        """Copy with all conv/FC efficiencies scaled (e.g. CUTLASS vs cuDNN)."""
+        table = {k: min(1.0, v * scale) for k, v in self.conv_efficiency_by_kernel.items()}
+        return dataclasses.replace(
+            self,
+            name=f"{self.name}{suffix}",
+            conv_efficiency_by_kernel=table,
+            fc_efficiency=min(1.0, self.fc_efficiency * scale),
+        )

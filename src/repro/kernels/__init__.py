@@ -1,0 +1,57 @@
+"""Fused kernels: the functional form of BN Fission-n-Fusion.
+
+Each kernel here computes the same mathematics as a chain of reference
+layers from :mod:`repro.nn` while touching the mini-batch tensors the
+minimal number of times prescribed by the paper's Figure 5:
+
+* :mod:`repro.kernels.bn_stats` — MVF: mean and variance from one sweep via
+  ``Var(X) = E(X^2) - E(X)^2``.
+* :mod:`repro.kernels.relu_conv_fused` — RCF: ReLU folded into the following
+  convolution's input read (forward) and its backward-data write (backward).
+* :mod:`repro.kernels.conv_bn_fused` — CONV1-(sub-BN1): statistics
+  accumulated while the convolution produces its output; and the backward
+  twin CONV1'-(sub-BN1') that applies the BN input-gradient transform while
+  reading the incoming gradient.
+* :mod:`repro.kernels.bn_relu_conv_fused` — (sub-BN2)-ReLU-CONV2: normalize
+  + clip while the following convolution reads its input; backward recovers
+  the ReLU mask and BN x-hat from tensors the convolution reads anyway.
+
+The kernels never *store* the normalized or rectified intermediate feature
+maps — only the pre-BN convolution output survives, exactly the paper's
+restructured dataflow — so numerical agreement of these functions with the
+reference layer chain is the correctness claim of the whole reproduction.
+"""
+
+from repro.kernels.bn_stats import (
+    onepass_stats,
+    twopass_stats,
+    chunked_onepass_stats,
+)
+from repro.kernels.relu_conv_fused import relu_conv_forward, relu_conv_backward
+from repro.kernels.conv_bn_fused import (
+    conv_bn_stats_forward,
+    conv_bn_input_grad_backward,
+    bn_input_grad_transform,
+)
+from repro.kernels.bn_relu_conv_fused import (
+    bn_relu_conv_forward,
+    bn_relu_conv_backward,
+    FusedChain,
+)
+from repro.kernels.verify import max_abs_diff, assert_fused_equal
+
+__all__ = [
+    "onepass_stats",
+    "twopass_stats",
+    "chunked_onepass_stats",
+    "relu_conv_forward",
+    "relu_conv_backward",
+    "conv_bn_stats_forward",
+    "conv_bn_input_grad_backward",
+    "bn_input_grad_transform",
+    "bn_relu_conv_forward",
+    "bn_relu_conv_backward",
+    "FusedChain",
+    "max_abs_diff",
+    "assert_fused_equal",
+]

@@ -1,0 +1,170 @@
+"""(sub-BN2)-ReLU-CONV2 fusion and the full fused composite chain.
+
+Forward: normalization, scale/shift and rectification all happen while the
+following convolution reads its input feature map. The normalized and
+rectified tensors are *transient* — only the pre-BN convolution output
+(``bn_x``) and the final convolution output ever reach memory, collapsing
+the baseline's five sweeps ``I4, I5, I6, O2, O3`` into ``I2'`` (plus the
+``O2'`` write the next layer needs anyway).
+
+Backward: the convolution's backward needs its forward input (the rectified
+tensor) for the weight gradient; since that tensor was never stored, it is
+recomputed inline from ``bn_x`` + the per-channel statistics — the same
+memory sweep also yields the ReLU mask and the BN ``x_hat`` needed for the
+dgamma/dbeta reductions (sub-BN2'). Nothing is read that the convolution's
+backward would not have read anyway.
+
+:class:`FusedChain` strings CONV1-(sub-BN1) and (sub-BN2)-ReLU-CONV2
+together into the restructured composite-layer segment of Figure 5 with a
+reference-identical parameter/gradient interface, which is what the
+integration tests and the functional executor train with.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.config import BN_EPSILON
+from repro.errors import ExecutionError
+from repro.kernels.conv_bn_fused import (
+    conv_bn_input_grad_backward,
+    conv_bn_stats_forward,
+)
+from repro.nn.batchnorm import BatchNorm2d
+from repro.nn.conv import Conv2d
+from repro.nn.module import Module
+
+
+def _affine_normalize(
+    x: np.ndarray,
+    mean: np.ndarray,
+    var: np.ndarray,
+    gamma: np.ndarray,
+    beta: np.ndarray,
+    eps: float,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Return (x_hat, bn_out) for the saved statistics — the sub-BN2 math."""
+    inv_std = 1.0 / np.sqrt(var + eps)
+    x_hat = (x - mean[None, :, None, None]) * inv_std[None, :, None, None]
+    bn_out = gamma[None, :, None, None] * x_hat + beta[None, :, None, None]
+    return x_hat, bn_out.astype(x.dtype)
+
+
+def bn_relu_conv_forward(
+    x: np.ndarray,
+    mean: np.ndarray,
+    var: np.ndarray,
+    gamma: np.ndarray,
+    beta: np.ndarray,
+    conv: Conv2d,
+    eps: float = BN_EPSILON,
+    apply_relu: bool = True,
+) -> np.ndarray:
+    """Fused forward: ``conv(relu(bn_affine(x)))`` in one logical sweep.
+
+    ``x`` is the preceding convolution's output; ``mean``/``var`` were
+    produced for free by :func:`~repro.kernels.conv_bn_fused.conv_bn_stats_forward`.
+    The normalized/rectified tensors are local temporaries — the caller only
+    ever keeps ``x``. ``apply_relu=False`` covers direct BN->CONV chains
+    (no activation between them).
+    """
+    _, bn_out = _affine_normalize(x, mean, var, gamma, beta, eps)
+    return conv.forward(np.maximum(bn_out, 0) if apply_relu else bn_out)
+
+
+def bn_relu_conv_backward(
+    dy: np.ndarray,
+    conv: Conv2d,
+    bn_x: np.ndarray,
+    mean: np.ndarray,
+    var: np.ndarray,
+    gamma: np.ndarray,
+    beta: np.ndarray,
+    eps: float = BN_EPSILON,
+    apply_relu: bool = True,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Fused backward of (sub-BN2)-ReLU-CONV2, including sub-BN2'.
+
+    Recomputes the convolution's input from ``bn_x`` (never stored), runs
+    both convolution backward halves, applies the ReLU mask to the returned
+    gradient (when ``apply_relu``) and reduces dgamma/dbeta in the same
+    sweep.
+
+    Returns ``(d_bn_out, dgamma, dbeta)`` where ``d_bn_out`` is the gradient
+    at the BN output, ready for the preceding fused convolution's
+    sub-BN1' transform.
+    """
+    x_hat, bn_out = _affine_normalize(bn_x, mean, var, gamma, beta, eps)
+    conv_in = np.maximum(bn_out, 0) if apply_relu else bn_out
+
+    conv.prepare_backward(conv_in)
+    conv.backward_weights(dy)
+    d_conv_in = conv.backward_data(dy)
+
+    d_bn_out = d_conv_in * (bn_out > 0) if apply_relu else d_conv_in
+    dgamma = (d_bn_out * x_hat).sum(axis=(0, 2, 3)).astype(gamma.dtype)
+    dbeta = d_bn_out.sum(axis=(0, 2, 3)).astype(beta.dtype)
+    return d_bn_out, dgamma, dbeta
+
+
+class FusedChain(Module):
+    """Restructured CONV1 -> BN -> ReLU -> CONV2 segment (Figure 5).
+
+    Owns a :class:`~repro.nn.conv.Conv2d` pair and a
+    :class:`~repro.nn.batchnorm.BatchNorm2d` whose parameters it shares with
+    the fused kernels, so optimizers see the exact same parameter set as the
+    reference chain. Only ``bn_x`` (CONV1's output) is retained between
+    forward and backward — the paper's restructured dataflow.
+    """
+
+    def __init__(self, conv1: Conv2d, bn: BatchNorm2d, conv2: Conv2d, name: str = "fused_chain"):
+        super().__init__(name)
+        if conv1.out_channels != bn.channels or bn.channels != conv2.in_channels:
+            raise ExecutionError(
+                f"{name}: channel chain {conv1.out_channels} -> {bn.channels} "
+                f"-> {conv2.in_channels} is inconsistent"
+            )
+        self.conv1 = self.register_module(conv1)
+        self.bn = self.register_module(bn)
+        self.conv2 = self.register_module(conv2)
+
+        self._bn_x: Optional[np.ndarray] = None
+        self._mean: Optional[np.ndarray] = None
+        self._var: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        bn_x, mean, var = conv_bn_stats_forward(x, self.conv1)
+        self._bn_x, self._mean, self._var = bn_x, mean, var
+        self.bn._update_running(mean, var, bn_x)
+        return bn_relu_conv_forward(
+            bn_x, mean, var, self.bn.gamma.data, self.bn.beta.data, self.conv2, self.bn.eps
+        )
+
+    def backward(self, dy: np.ndarray) -> np.ndarray:
+        if self._bn_x is None:
+            raise ExecutionError(f"{self.name}: backward before forward")
+        d_bn_out, dgamma, dbeta = bn_relu_conv_backward(
+            dy,
+            self.conv2,
+            self._bn_x,
+            self._mean,
+            self._var,
+            self.bn.gamma.data,
+            self.bn.beta.data,
+            self.bn.eps,
+        )
+        self.bn.gamma.accumulate_grad(dgamma)
+        self.bn.beta.accumulate_grad(dbeta)
+        return conv_bn_input_grad_backward(
+            d_bn_out,
+            self.conv1,
+            self._bn_x,
+            self._mean,
+            self._var,
+            self.bn.gamma.data,
+            dgamma,
+            dbeta,
+            self.bn.eps,
+        )

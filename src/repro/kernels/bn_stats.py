@@ -1,0 +1,93 @@
+"""Mini-batch statistics kernels: two-pass reference vs one-pass MVF.
+
+The paper's Mean/Variance Fusion (MVF) removes one of the two statistics
+sweeps by using ``Var(X) = E(X^2) - E(X)^2``: sums of ``x`` and ``x^2`` are
+accumulated together in a single pass over the mini-batch. Section 3.2 notes
+this formulation is more exposed to floating-point cancellation but that
+fp32 accumulation proved sufficient in practice; :func:`onepass_stats`
+accumulates in fp64 internally (free on CPU SIMD units, and what a careful
+fp32 kernel would approximate with Kahan-style tricks) and returns the input
+dtype, while :func:`onepass_stats_fp32` exists so tests can quantify the
+paper's precision claim directly.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.errors import ShapeError
+
+
+def _check_nchw(x: np.ndarray) -> None:
+    if x.ndim != 4:
+        raise ShapeError(f"stats kernels expect NCHW, got {x.shape}")
+
+
+def twopass_stats(x: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Reference statistics: one sweep for the mean, a second for variance.
+
+    This is the baseline BN dataflow (Figure 5's I2 and I3 sweeps).
+    Variance is the biased ``E((X-mean)^2)`` over (N, H, W) per channel.
+    """
+    _check_nchw(x)
+    mean = x.mean(axis=(0, 2, 3))
+    centered = x - mean[None, :, None, None]
+    var = (centered * centered).mean(axis=(0, 2, 3))
+    return mean.astype(x.dtype), var.astype(x.dtype)
+
+
+def onepass_stats(x: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """MVF statistics: accumulate sum(x) and sum(x^2) in one sweep.
+
+    ``Var(X) = E(X^2) - E(X)^2``, clamped at zero to absorb the tiny negative
+    values cancellation can produce when a channel is near-constant.
+    """
+    _check_nchw(x)
+    m = x.shape[0] * x.shape[2] * x.shape[3]
+    s1 = x.sum(axis=(0, 2, 3), dtype=np.float64)
+    s2 = (x.astype(np.float64) ** 2).sum(axis=(0, 2, 3))
+    mean = s1 / m
+    var = np.maximum(s2 / m - mean * mean, 0.0)
+    return mean.astype(x.dtype), var.astype(x.dtype)
+
+
+def onepass_stats_fp32(x: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """MVF with strict fp32 accumulation — the paper's measured variant.
+
+    Used by precision tests to check the claim that single precision is
+    "good enough for calculating E(X^2)" on realistic activations.
+    """
+    _check_nchw(x)
+    m = np.float32(x.shape[0] * x.shape[2] * x.shape[3])
+    s1 = x.sum(axis=(0, 2, 3), dtype=np.float32)
+    s2 = (x * x).sum(axis=(0, 2, 3), dtype=np.float32)
+    mean = s1 / m
+    var = np.maximum(s2 / m - mean * mean, np.float32(0.0))
+    return mean, var
+
+
+def chunked_onepass_stats(
+    x: np.ndarray, chunk: int = 8
+) -> Tuple[np.ndarray, np.ndarray]:
+    """One-pass stats via per-chunk partial sums then a final reduction.
+
+    Models the GPU implementation in Section 5: each thread block reduces
+    its tile of the convolution output into partial ``(sum, sum_sq)`` pairs
+    in shared memory, then an inter-block reduction produces mean/variance.
+    Chunking over the batch dimension gives the same partial-reduction tree.
+    """
+    _check_nchw(x)
+    if chunk <= 0:
+        raise ShapeError(f"chunk must be positive, got {chunk}")
+    m = x.shape[0] * x.shape[2] * x.shape[3]
+    s1 = np.zeros(x.shape[1], dtype=np.float64)
+    s2 = np.zeros(x.shape[1], dtype=np.float64)
+    for start in range(0, x.shape[0], chunk):
+        tile = x[start : start + chunk].astype(np.float64)
+        s1 += tile.sum(axis=(0, 2, 3))
+        s2 += (tile * tile).sum(axis=(0, 2, 3))
+    mean = s1 / m
+    var = np.maximum(s2 / m - mean * mean, 0.0)
+    return mean.astype(x.dtype), var.astype(x.dtype)

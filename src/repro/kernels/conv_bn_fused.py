@@ -1,0 +1,107 @@
+"""CONV1-(sub-BN1) fusion: statistics for free while the convolution writes.
+
+Forward (paper Fig. 5a, lower half): the convolution computes its output
+feature map; as each output tile is produced, per-channel ``sum(y)`` and
+``sum(y^2)`` are accumulated (MVF) before the tile leaves on-chip memory.
+The three baseline sweeps ``O1, I2, I3`` collapse into one write ``O1'``.
+
+Backward (Fig. 5b): sub-BN1' — the BN input-gradient transform — is applied
+while the convolution's backward consumes its incoming gradient. The
+convolution receives the gradient at the *BN output*; the fused kernel
+converts it to the gradient at the BN *input* (= the conv output) on the
+fly using the saved per-channel statistics and the dgamma/dbeta reductions
+computed earlier by the following fused layer.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.nn.conv import Conv2d
+from repro.kernels.bn_stats import onepass_stats
+
+
+def conv_bn_stats_forward(
+    x: np.ndarray, conv: Conv2d
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Run ``conv`` and return ``(y, mean, var)`` from a single output sweep.
+
+    The statistics are the one-pass (MVF) form over the convolution's own
+    output — the quantity the *following* BN layer needs. Nothing except
+    ``y`` itself would reach DRAM in the real kernel; mean/var are
+    per-channel vectors that live in cache.
+    """
+    y = conv.forward(x)
+    mean, var = onepass_stats(y)
+    return y, mean, var
+
+
+def bn_input_grad_transform(
+    d_bn_out: np.ndarray,
+    bn_x: np.ndarray,
+    mean: np.ndarray,
+    var: np.ndarray,
+    gamma: np.ndarray,
+    dgamma: np.ndarray,
+    dbeta: np.ndarray,
+    eps: float,
+) -> np.ndarray:
+    """The sub-BN1' elementwise transform: BN-output grad -> BN-input grad.
+
+    ``dX = (gamma * inv_std / M) * (M*dY - dbeta - x_hat * dgamma)`` — the
+    standard training-mode BN input gradient, applied on the fly wherever a
+    fused kernel consumes the BN-output gradient (preceding CONV backward,
+    ICF'd Split/Concat backward).
+    """
+    inv_std = 1.0 / np.sqrt(var + eps)
+    m = d_bn_out.shape[0] * d_bn_out.shape[2] * d_bn_out.shape[3]
+    x_hat = (bn_x - mean[None, :, None, None]) * inv_std[None, :, None, None]
+    g = (gamma * inv_std)[None, :, None, None]
+    d_bn_in = (g / m) * (
+        m * d_bn_out
+        - dbeta[None, :, None, None]
+        - x_hat * dgamma[None, :, None, None]
+    )
+    return d_bn_in.astype(d_bn_out.dtype)
+
+
+def conv_bn_input_grad_backward(
+    d_bn_out: np.ndarray,
+    conv: Conv2d,
+    bn_x: np.ndarray,
+    mean: np.ndarray,
+    var: np.ndarray,
+    gamma: np.ndarray,
+    dgamma: np.ndarray,
+    dbeta: np.ndarray,
+    eps: float,
+) -> np.ndarray:
+    """Fused CONV1 backward with the sub-BN1' transform applied inline.
+
+    Parameters
+    ----------
+    d_bn_out:
+        Gradient at the BN layer's output (handed over by the following
+        fused (sub-BN2)-ReLU-CONV2 backward).
+    conv:
+        The convolution whose output feeds the BN layer; its weight gradient
+        is accumulated and its input gradient returned.
+    bn_x:
+        The BN input = this convolution's forward output (the one tensor the
+        restructured schedule keeps).
+    mean, var, gamma, dgamma, dbeta, eps:
+        Saved statistics and the per-channel reductions from sub-BN2'.
+
+    Returns
+    -------
+    dX of the convolution (gradient flowing further upstream).
+    """
+    d_bn_in = bn_input_grad_transform(
+        d_bn_out, bn_x, mean, var, gamma, dgamma, dbeta, eps
+    )
+    # The convolution's two backward halves consume the transformed gradient
+    # exactly as they would the raw one.
+    conv.backward_weights(d_bn_in)
+    return conv.backward_data(d_bn_in)

@@ -1,0 +1,48 @@
+"""RCF — ReLU-CONV Fusion kernels.
+
+DenseNet (and pre-activation ResNet) place ReLU *before* the convolution, so
+the stock "conv then relu" fusion of the reference library does not apply.
+RCF instead clips elements while the following convolution reads its input
+feature map:
+
+* forward: ``y = conv(max(x, 0))`` with the rectified tensor never written
+  back to memory — it exists only inside the convolution's input tiles.
+* backward: the convolution's backward-data pass produces the gradient at
+  its input, i.e. at the ReLU *output*; the ReLU mask (``x > 0``) is applied
+  in the same write sweep, so the ReLU layer's three backward sweeps vanish.
+  The mask is recomputed from ``x``, which the convolution's
+  backward-weights pass sweeps anyway.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.nn.conv import Conv2d
+
+
+def relu_conv_forward(x: np.ndarray, conv: Conv2d) -> np.ndarray:
+    """Forward RCF: rectify inline, convolve, never materialize relu(x).
+
+    ``conv`` caches what its own backward needs (the rectified im2col
+    buffer), exactly as the fused primitive would keep its input tile
+    on-chip.
+    """
+    return conv.forward(np.maximum(x, 0))
+
+
+def relu_conv_backward(
+    x: np.ndarray, dy: np.ndarray, conv: Conv2d
+) -> Tuple[np.ndarray, None]:
+    """Backward RCF: conv backward + inline mask application.
+
+    Returns ``dX`` at the ReLU *input*. ``conv``'s weight gradient is
+    accumulated as a side effect (its backward-weights half). The mask comes
+    from ``x`` directly — no saved ReLU output needed.
+    """
+    conv.backward_weights(dy)
+    d_relu_out = conv.backward_data(dy)
+    dx = d_relu_out * (x > 0)
+    return dx, None

@@ -1,0 +1,46 @@
+"""Equivalence-checking helpers for fused-vs-reference kernel comparisons."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.config import FUSED_EQUIV_ATOL, FUSED_EQUIV_RTOL
+
+
+def max_abs_diff(a: np.ndarray, b: np.ndarray) -> float:
+    """Largest absolute elementwise difference (0.0 for empty arrays)."""
+    if a.shape != b.shape:
+        raise ValueError(f"shape mismatch {a.shape} vs {b.shape}")
+    if a.size == 0:
+        return 0.0
+    return float(np.max(np.abs(np.asarray(a, dtype=np.float64) - np.asarray(b, dtype=np.float64))))
+
+
+def assert_fused_equal(
+    fused: np.ndarray,
+    reference: np.ndarray,
+    what: str = "tensor",
+    rtol: Optional[float] = None,
+    atol: Optional[float] = None,
+) -> None:
+    """Assert a fused kernel output matches the reference within tolerance.
+
+    Tolerances default to the library-wide fp32 fusion tolerances; the error
+    message reports the worst element so precision regressions are easy to
+    localize.
+    """
+    rtol = FUSED_EQUIV_RTOL if rtol is None else rtol
+    atol = FUSED_EQUIV_ATOL if atol is None else atol
+    if fused.shape != reference.shape:
+        raise AssertionError(
+            f"{what}: fused shape {fused.shape} != reference {reference.shape}"
+        )
+    if not np.allclose(fused, reference, rtol=rtol, atol=atol):
+        diff = max_abs_diff(fused, reference)
+        scale = float(np.max(np.abs(reference))) if reference.size else 0.0
+        raise AssertionError(
+            f"{what}: fused/reference mismatch max|diff|={diff:.3e} "
+            f"(max|ref|={scale:.3e}, rtol={rtol}, atol={atol})"
+        )

@@ -1,0 +1,36 @@
+"""Model zoo: layer graphs for every CNN the paper evaluates.
+
+Each builder returns a finalized :class:`~repro.graph.graph.LayerGraph`
+with reference memory-sweep ledgers attached. The same graphs drive both
+the analytical performance simulator (at paper scale: ImageNet shapes,
+batch 120) and the functional numpy executor (at reduced scale, e.g.
+CIFAR-sized inputs with narrow growth rates) — shape parameters are
+arguments everywhere, never hard-coded.
+"""
+
+from repro.models.densenet import densenet_graph, densenet121_graph
+from repro.models.resnet import resnet_graph, resnet50_graph
+from repro.models.alexnet import alexnet_graph
+from repro.models.vgg import vgg16_graph
+from repro.models.mobilenet import mobilenet_v1_graph, tiny_mobilenet_graph
+from repro.models.inception import inception_graph, tiny_inception_graph
+from repro.models.simple import tiny_cnn_graph, tiny_densenet_graph, tiny_resnet_graph
+from repro.models.registry import MODEL_BUILDERS, build_model
+
+__all__ = [
+    "densenet_graph",
+    "densenet121_graph",
+    "resnet_graph",
+    "resnet50_graph",
+    "alexnet_graph",
+    "vgg16_graph",
+    "mobilenet_v1_graph",
+    "inception_graph",
+    "tiny_inception_graph",
+    "tiny_mobilenet_graph",
+    "tiny_cnn_graph",
+    "tiny_densenet_graph",
+    "tiny_resnet_graph",
+    "MODEL_BUILDERS",
+    "build_model",
+]

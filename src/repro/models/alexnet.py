@@ -1,0 +1,48 @@
+"""AlexNet graph (Krizhevsky et al., 2012) — Figure 1's "early CNN" anchor.
+
+No BN layers; large filters (11x11, 5x5) and three enormous FC layers, so
+CONV/FC dominates execution time — the paper's Figure 1 uses exactly this
+contrast against the deep, BN-heavy modern models. Local response
+normalization is omitted (negligible cost, removed in later practice).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.graph.builder import GraphBuilder
+from repro.graph.graph import LayerGraph
+
+
+def alexnet_graph(
+    batch: int = 120,
+    image: Tuple[int, int, int] = (3, 224, 224),
+    num_classes: int = 1000,
+) -> LayerGraph:
+    """Build the single-tower AlexNet layer graph."""
+    b = GraphBuilder("alexnet", batch=batch, image=image)
+
+    b.region("features")
+    x = b.input()
+    x = b.conv(x, 96, kernel=11, stride=4, padding=2, name="conv1")
+    x = b.relu(x, name="relu1")
+    x = b.max_pool(x, kernel=3, stride=2, name="pool1")
+    x = b.conv(x, 256, kernel=5, padding=2, name="conv2")
+    x = b.relu(x, name="relu2")
+    x = b.max_pool(x, kernel=3, stride=2, name="pool2")
+    x = b.conv(x, 384, kernel=3, padding=1, name="conv3")
+    x = b.relu(x, name="relu3")
+    x = b.conv(x, 384, kernel=3, padding=1, name="conv4")
+    x = b.relu(x, name="relu4")
+    x = b.conv(x, 256, kernel=3, padding=1, name="conv5")
+    x = b.relu(x, name="relu5")
+    x = b.max_pool(x, kernel=3, stride=2, name="pool5")
+
+    b.region("classifier")
+    x = b.fc(x, 4096, name="fc6")
+    x = b.relu(x, name="relu6")
+    x = b.fc(x, 4096, name="fc7")
+    x = b.relu(x, name="relu7")
+    logits = b.fc(x, num_classes, name="fc8")
+    b.loss(logits)
+    return b.finalize()

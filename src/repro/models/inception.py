@@ -1,0 +1,114 @@
+"""GoogLeNet-style Inception graph — topology-diversity extension.
+
+The paper's Figure 1 narrative cites the Inception family (Szegedy et al.)
+among the modern multi-branch CNNs. Structurally, Inception modules are the
+*converse* of DenseNet's dense connectivity: a Split fans the input out to
+four parallel branches whose outputs a Concat merges. For the restructuring
+passes this exercises a case neither DenseNet nor ResNet contains — BN
+layers *after* a multi-branch Concat (boundary BNs whose ICF host has
+several real data inputs) and RCF/Fusion inside short parallel branches.
+
+The graph is a BN-everywhere variant (as in Inception-v2+, where BN was
+introduced) of the GoogLeNet module schedule, parameterized so tests can
+run a miniature.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+from repro.graph.builder import GraphBuilder
+from repro.graph.graph import LayerGraph
+
+#: Per-module branch widths: (b1x1, b3x3_reduce, b3x3, b5x5_reduce, b5x5,
+#: pool_proj) — the GoogLeNet table, inception (3a) through (5b).
+GOOGLENET_MODULES: Sequence[Tuple[int, int, int, int, int, int]] = (
+    (64, 96, 128, 16, 32, 32),
+    (128, 128, 192, 32, 96, 64),
+    (192, 96, 208, 16, 48, 64),
+    (160, 112, 224, 24, 64, 64),
+    (128, 128, 256, 24, 64, 64),
+    (112, 144, 288, 32, 64, 64),
+    (256, 160, 320, 32, 128, 128),
+    (256, 160, 320, 32, 128, 128),
+    (384, 192, 384, 48, 128, 128),
+)
+
+#: Module indices after which a stride-2 max pool is inserted.
+POOL_AFTER = (1, 6)
+
+
+def inception_graph(
+    batch: int = 120,
+    image: Tuple[int, int, int] = (3, 224, 224),
+    num_classes: int = 1000,
+    width_multiplier: float = 1.0,
+    modules: Sequence[Tuple[int, int, int, int, int, int]] | None = None,
+    name: str | None = None,
+) -> LayerGraph:
+    """Build the BN-everywhere GoogLeNet-style graph."""
+    if modules is None:
+        modules = GOOGLENET_MODULES
+
+    def width(c: int) -> int:
+        return max(4, int(c * width_multiplier))
+
+    b = GraphBuilder(name or "inception", batch=batch, image=image)
+
+    b.region("stem")
+    x = b.input()
+    x = b.conv(x, width(64), kernel=7, stride=2, padding=3, name="conv1")
+    x = b.bn(x, name="bn1")
+    x = b.relu(x, name="relu1")
+    x = b.max_pool(x, kernel=3, stride=2, padding=1, name="pool1")
+    x = b.conv(x, width(192), kernel=3, padding=1, name="conv2")
+    x = b.bn(x, name="bn2")
+    x = b.relu(x, name="relu2")
+    x = b.max_pool(x, kernel=3, stride=2, padding=1, name="pool2")
+
+    for i, widths in enumerate(modules):
+        b.region(f"inception{i}")
+        x = _module(b, x, tuple(width(c) for c in widths))
+        if i in POOL_AFTER:
+            b.region(f"pool{i}")
+            x = b.max_pool(x, kernel=3, stride=2, padding=1, name="pool")
+
+    b.region("head")
+    x = b.global_pool(x, name="gap")
+    logits = b.fc(x, num_classes, name="classifier")
+    b.loss(logits)
+    return b.finalize()
+
+
+def _branch_conv(b: GraphBuilder, x: str, channels: int, kernel: int,
+                 tag: str) -> str:
+    """CONV-BN-ReLU with the BN-before-nothing ordering of Inception-v2."""
+    h = b.conv(x, channels, kernel=kernel, padding=kernel // 2, name=f"{tag}_conv")
+    h = b.bn(h, name=f"{tag}_bn")
+    return b.relu(h, name=f"{tag}_relu")
+
+
+def _module(b: GraphBuilder, x: str, widths: Tuple[int, ...]) -> str:
+    """One Inception module: four parallel branches merged by Concat."""
+    c1, c3r, c3, c5r, c5, cp = widths
+    branch1 = _branch_conv(b, x, c1, 1, "b1")
+    branch3 = _branch_conv(b, x, c3r, 1, "b3r")
+    branch3 = _branch_conv(b, branch3, c3, 3, "b3")
+    branch5 = _branch_conv(b, x, c5r, 1, "b5r")
+    branch5 = _branch_conv(b, branch5, c5, 5, "b5")
+    pooled = b.max_pool(x, kernel=3, stride=1, padding=1, name="bp_pool")
+    branchp = _branch_conv(b, pooled, cp, 1, "bp")
+    return b.concat([branch1, branch3, branch5, branchp], name="concat")
+
+
+def tiny_inception_graph(
+    batch: int = 4,
+    image: Tuple[int, int, int] = (3, 32, 32),
+    num_classes: int = 10,
+) -> LayerGraph:
+    """Two-module miniature at 1/16 width for functional tests."""
+    return inception_graph(
+        batch=batch, image=image, num_classes=num_classes,
+        width_multiplier=1 / 16, modules=GOOGLENET_MODULES[:2],
+        name="tiny_inception",
+    )

@@ -1,0 +1,82 @@
+"""MobileNet-V1 graph builder (Howard et al., 2017) — extension model.
+
+The paper's Section 2.3 lists MobileNets among the modern CNNs whose
+non-CONV layers "have been gaining prominence". MobileNet is the extreme
+case: its depthwise-separable blocks put a BN+ReLU pair after *every*
+depthwise and every pointwise convolution while the depthwise convolutions
+themselves do almost no arithmetic — so the BN/ReLU bandwidth bill
+dominates even harder than in DenseNet, and every BN is convolution-fed
+(fully BNFF-fusible, no ICF needed). Including it extends Figure 1/7-style
+analyses one architecture further than the paper went.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+from repro.errors import GraphError
+from repro.graph.builder import GraphBuilder
+from repro.graph.graph import LayerGraph
+
+#: (out_channels, stride) of each depthwise-separable block (V1 paper).
+MOBILENET_V1_BLOCKS: Sequence[Tuple[int, int]] = (
+    (64, 1),
+    (128, 2), (128, 1),
+    (256, 2), (256, 1),
+    (512, 2), (512, 1), (512, 1), (512, 1), (512, 1), (512, 1),
+    (1024, 2), (1024, 1),
+)
+
+
+def mobilenet_v1_graph(
+    batch: int = 120,
+    image: Tuple[int, int, int] = (3, 224, 224),
+    num_classes: int = 1000,
+    width_multiplier: float = 1.0,
+    name: str | None = None,
+) -> LayerGraph:
+    """Build MobileNet-V1 with the standard 13 separable blocks.
+
+    ``width_multiplier`` scales every channel count (the V1 paper's alpha),
+    which the tiny functional-test variant uses.
+    """
+    if width_multiplier <= 0:
+        raise GraphError("width_multiplier must be positive")
+
+    def width(c: int) -> int:
+        return max(8, int(c * width_multiplier))
+
+    b = GraphBuilder(name or "mobilenet_v1", batch=batch, image=image)
+
+    b.region("stem")
+    x = b.input()
+    x = b.conv(x, width(32), kernel=3, stride=2, padding=1, name="conv0")
+    x = b.bn(x, name="bn0")
+    x = b.relu(x, name="relu0")
+
+    for i, (out_channels, stride) in enumerate(MOBILENET_V1_BLOCKS):
+        b.region(f"block{i}")
+        x = b.depthwise_conv(x, kernel=3, stride=stride, padding=1, name="dw")
+        x = b.bn(x, name="bn_dw")
+        x = b.relu(x, name="relu_dw")
+        x = b.conv(x, width(out_channels), kernel=1, name="pw")
+        x = b.bn(x, name="bn_pw")
+        x = b.relu(x, name="relu_pw")
+
+    b.region("head")
+    x = b.global_pool(x, name="gap")
+    logits = b.fc(x, num_classes, name="classifier")
+    b.loss(logits)
+    return b.finalize()
+
+
+def tiny_mobilenet_graph(
+    batch: int = 8,
+    image: Tuple[int, int, int] = (3, 16, 16),
+    num_classes: int = 10,
+) -> LayerGraph:
+    """Functional-test miniature: 1/8-width, 16x16 inputs."""
+    return mobilenet_v1_graph(
+        batch=batch, image=image, num_classes=num_classes,
+        width_multiplier=0.125, name="tiny_mobilenet",
+    )

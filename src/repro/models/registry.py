@@ -1,0 +1,46 @@
+"""Name-indexed registry of model-graph builders."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.errors import GraphError
+from repro.graph.graph import LayerGraph
+from repro.models.alexnet import alexnet_graph
+from repro.models.densenet import densenet121_graph, densenet_graph
+from repro.models.resnet import resnet50_graph, resnet_graph
+from repro.models.simple import tiny_cnn_graph, tiny_densenet_graph, tiny_resnet_graph
+from repro.models.vgg import vgg16_graph
+from repro.models.mobilenet import mobilenet_v1_graph, tiny_mobilenet_graph
+from repro.models.inception import inception_graph, tiny_inception_graph
+
+#: Builders keyed by the names experiments and the CLI use.
+MODEL_BUILDERS: Dict[str, Callable[..., LayerGraph]] = {
+    "alexnet": alexnet_graph,
+    "vgg16": vgg16_graph,
+    "resnet18": lambda **kw: resnet_graph(depth=18, **kw),
+    "resnet34": lambda **kw: resnet_graph(depth=34, **kw),
+    "resnet50": resnet50_graph,
+    "resnet101": lambda **kw: resnet_graph(depth=101, **kw),
+    "mobilenet_v1": mobilenet_v1_graph,
+    "inception": inception_graph,
+    "densenet121": densenet121_graph,
+    "densenet169": lambda **kw: densenet_graph(depth=169, **kw),
+    "densenet201": lambda **kw: densenet_graph(depth=201, **kw),
+    "tiny_cnn": tiny_cnn_graph,
+    "tiny_mobilenet": tiny_mobilenet_graph,
+    "tiny_inception": tiny_inception_graph,
+    "tiny_densenet": tiny_densenet_graph,
+    "tiny_resnet": tiny_resnet_graph,
+}
+
+
+def build_model(name: str, **kwargs) -> LayerGraph:
+    """Build a registered model graph by name."""
+    try:
+        builder = MODEL_BUILDERS[name]
+    except KeyError:
+        raise GraphError(
+            f"unknown model {name!r}; available: {sorted(MODEL_BUILDERS)}"
+        ) from None
+    return builder(**kwargs)

@@ -1,0 +1,114 @@
+"""ResNet graph builder (He et al., 2016) — the paper's second target.
+
+Original post-activation topology: every convolution is followed by BN (so
+every BN has a CONV predecessor and BNFF's statistics fusion always
+applies), and each block ends in an elementwise sum (EWS) with the shortcut
+followed by ReLU. The post-EWS ReLU output fans out to the next block's
+first convolution *and* the next shortcut, so RCF cannot claim it (two
+consumers, one of which is not a convolution) — one reason ResNet-50 gains
+less from the restructuring than DenseNet-121, as in the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence, Tuple
+
+from repro.errors import GraphError
+from repro.graph.builder import GraphBuilder
+from repro.graph.graph import LayerGraph
+
+#: (block_fn, per-stage block counts) per published depth.
+RESNET_CONFIGS: Dict[int, Tuple[str, Tuple[int, ...]]] = {
+    18: ("basic", (2, 2, 2, 2)),
+    34: ("basic", (3, 4, 6, 3)),
+    50: ("bottleneck", (3, 4, 6, 3)),
+    101: ("bottleneck", (3, 4, 23, 3)),
+}
+
+#: Base width of each stage (bottleneck blocks expand x4).
+STAGE_WIDTHS = (64, 128, 256, 512)
+
+
+def resnet_graph(
+    depth: int = 50,
+    batch: int = 120,
+    image: Tuple[int, int, int] = (3, 224, 224),
+    num_classes: int = 1000,
+    name: str | None = None,
+) -> LayerGraph:
+    """Build a ResNet layer graph at the requested published depth."""
+    if depth not in RESNET_CONFIGS:
+        raise GraphError(f"unknown ResNet depth {depth}; use {sorted(RESNET_CONFIGS)}")
+    block_fn, stages = RESNET_CONFIGS[depth]
+    expansion = 4 if block_fn == "bottleneck" else 1
+
+    b = GraphBuilder(name or f"resnet{depth}", batch=batch, image=image)
+
+    b.region("stem")
+    x = b.input()
+    x = b.conv(x, 64, kernel=7, stride=2, padding=3, name="conv0")
+    x = b.bn(x, name="bn0")
+    x = b.relu(x, name="relu0")
+    x = b.max_pool(x, kernel=3, stride=2, padding=1, name="pool0")
+    in_channels = 64
+
+    for si, (n_blocks, width) in enumerate(zip(stages, STAGE_WIDTHS), start=1):
+        for bi in range(n_blocks):
+            b.region(f"stage{si}/block{bi}")
+            stride = 2 if (si > 1 and bi == 0) else 1
+            out_channels = width * expansion
+            if block_fn == "bottleneck":
+                x = _bottleneck_block(b, x, width, out_channels, stride, in_channels)
+            else:
+                x = _basic_block(b, x, width, stride, in_channels)
+                out_channels = width
+            in_channels = out_channels
+
+    b.region("head")
+    x = b.global_pool(x, name="gap")
+    logits = b.fc(x, num_classes, name="classifier")
+    b.loss(logits)
+    return b.finalize()
+
+
+def _shortcut(b: GraphBuilder, x: str, out_channels: int, stride: int,
+              in_channels: int) -> str:
+    """Identity when shapes agree, else projection (1x1 CONV + BN)."""
+    if stride == 1 and in_channels == out_channels:
+        return x
+    h = b.conv(x, out_channels, kernel=1, stride=stride, name="conv_proj")
+    return b.bn(h, name="bn_proj")
+
+
+def _bottleneck_block(b: GraphBuilder, x: str, width: int, out_channels: int,
+                      stride: int, in_channels: int) -> str:
+    """1x1 -> 3x3 -> 1x1 bottleneck with post-activation BN placement."""
+    h = b.conv(x, width, kernel=1, name="conv1")
+    h = b.bn(h, name="bn1")
+    h = b.relu(h, name="relu1")
+    h = b.conv(h, width, kernel=3, stride=stride, padding=1, name="conv2")
+    h = b.bn(h, name="bn2")
+    h = b.relu(h, name="relu2")
+    h = b.conv(h, out_channels, kernel=1, name="conv3")
+    h = b.bn(h, name="bn3")
+    sc = _shortcut(b, x, out_channels, stride, in_channels)
+    h = b.ews([h, sc], name="ews")
+    return b.relu(h, name="relu_out")
+
+
+def _basic_block(b: GraphBuilder, x: str, width: int, stride: int,
+                 in_channels: int) -> str:
+    """Two 3x3 convolutions (ResNet-18/34)."""
+    h = b.conv(x, width, kernel=3, stride=stride, padding=1, name="conv1")
+    h = b.bn(h, name="bn1")
+    h = b.relu(h, name="relu1")
+    h = b.conv(h, width, kernel=3, padding=1, name="conv2")
+    h = b.bn(h, name="bn2")
+    sc = _shortcut(b, x, width, stride, in_channels)
+    h = b.ews([h, sc], name="ews")
+    return b.relu(h, name="relu_out")
+
+
+def resnet50_graph(batch: int = 120, **kwargs) -> LayerGraph:
+    """ResNet-50 at the paper's evaluation configuration."""
+    return resnet_graph(depth=50, batch=batch, **kwargs)

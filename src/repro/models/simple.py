@@ -1,0 +1,71 @@
+"""Small CIFAR-scale graphs for functional execution and fast tests.
+
+Structurally faithful miniatures: ``tiny_densenet_graph`` keeps the exact
+CPL/Concat/Split topology of DenseNet (so boundary-BN handling, ICF and the
+Split-backward traffic all appear), and ``tiny_resnet_graph`` keeps the
+EWS/shortcut topology of ResNet — just with few blocks, narrow channels and
+small images so the numpy executor trains them in milliseconds.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.graph.builder import GraphBuilder
+from repro.graph.graph import LayerGraph
+from repro.models.densenet import densenet_graph
+from repro.models.resnet import resnet_graph
+
+
+def tiny_cnn_graph(
+    batch: int = 8,
+    image: Tuple[int, int, int] = (3, 16, 16),
+    num_classes: int = 10,
+    channels: int = 8,
+) -> LayerGraph:
+    """Straight-line CONV-BN-ReLU x2 + pooling + classifier."""
+    b = GraphBuilder("tiny_cnn", batch=batch, image=image)
+    x = b.input()
+    b.region("body")
+    x = b.conv(x, channels, kernel=3, padding=1, name="conv1")
+    x = b.bn(x, name="bn1")
+    x = b.relu(x, name="relu1")
+    x = b.conv(x, channels * 2, kernel=3, padding=1, name="conv2")
+    x = b.bn(x, name="bn2")
+    x = b.relu(x, name="relu2")
+    x = b.max_pool(x, kernel=2, stride=2, name="pool")
+    b.region("head")
+    x = b.global_pool(x, name="gap")
+    logits = b.fc(x, num_classes, name="classifier")
+    b.loss(logits)
+    return b.finalize()
+
+
+def tiny_densenet_graph(
+    batch: int = 8,
+    image: Tuple[int, int, int] = (3, 16, 16),
+    growth: int = 4,
+    blocks: Tuple[int, ...] = (2, 2),
+    num_classes: int = 10,
+) -> LayerGraph:
+    """A two-block DenseNet miniature with full CPL/Concat/Split topology."""
+    return densenet_graph(
+        batch=batch,
+        image=image,
+        growth=growth,
+        blocks=blocks,
+        init_channels=2 * growth,
+        num_classes=num_classes,
+        name="tiny_densenet",
+        depth=0,  # ignored when blocks is given
+    )
+
+
+def tiny_resnet_graph(
+    batch: int = 8,
+    image: Tuple[int, int, int] = (3, 32, 32),
+    num_classes: int = 10,
+) -> LayerGraph:
+    """ResNet-18 topology at CIFAR scale (keeps EWS/shortcut structure)."""
+    return resnet_graph(depth=18, batch=batch, image=image,
+                        num_classes=num_classes, name="tiny_resnet")

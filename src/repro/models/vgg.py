@@ -1,0 +1,48 @@
+"""VGG-16 graph (Simonyan & Zisserman, 2014) — Figure 1's second early model.
+
+All 3x3 convolutions, no BN (original 2014 configuration D): heavy compute
+per layer, low layer count, CONV/FC-dominated — the other end of the
+spectrum from DenseNet in the paper's execution-time breakdown.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+from repro.graph.builder import GraphBuilder
+from repro.graph.graph import LayerGraph
+
+#: Configuration D: channel width per stage, two-or-three convs per stage.
+VGG16_STAGES: Sequence[Tuple[int, int]] = (
+    (64, 2),
+    (128, 2),
+    (256, 3),
+    (512, 3),
+    (512, 3),
+)
+
+
+def vgg16_graph(
+    batch: int = 120,
+    image: Tuple[int, int, int] = (3, 224, 224),
+    num_classes: int = 1000,
+) -> LayerGraph:
+    """Build the VGG-16 (configuration D) layer graph."""
+    b = GraphBuilder("vgg16", batch=batch, image=image)
+
+    x = b.input()
+    for si, (width, convs) in enumerate(VGG16_STAGES, start=1):
+        b.region(f"stage{si}")
+        for ci in range(convs):
+            x = b.conv(x, width, kernel=3, padding=1, name=f"conv{ci}")
+            x = b.relu(x, name=f"relu{ci}")
+        x = b.max_pool(x, kernel=2, stride=2, name="pool")
+
+    b.region("classifier")
+    x = b.fc(x, 4096, name="fc6")
+    x = b.relu(x, name="relu6")
+    x = b.fc(x, 4096, name="fc7")
+    x = b.relu(x, name="relu7")
+    logits = b.fc(x, num_classes, name="fc8")
+    b.loss(logits)
+    return b.finalize()

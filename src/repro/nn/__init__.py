@@ -1,0 +1,45 @@
+"""From-scratch numpy CNN training substrate.
+
+This package is the functional half of the reproduction: reference
+implementations of every layer type the paper's models need, each with a
+full backward pass, so the restructured (fused) execution in
+:mod:`repro.kernels` / :mod:`repro.train` can be checked for exact numerical
+agreement with a conventional layer-by-layer execution.
+
+Everything is vectorized numpy — no Python loops over pixels or images —
+following the scikit-learn performance guidance: express the algorithm with
+array primitives first, optimize only measured hotspots.
+"""
+
+from repro.nn.module import Module, Parameter
+from repro.nn.init import he_normal, xavier_uniform, zeros, ones
+from repro.nn.conv import Conv2d
+from repro.nn.depthwise import DepthwiseConv2d
+from repro.nn.batchnorm import BatchNorm2d
+from repro.nn.relu import ReLU
+from repro.nn.pooling import MaxPool2d, AvgPool2d, GlobalAvgPool2d
+from repro.nn.linear import Linear
+from repro.nn.merge import Concat, Add
+from repro.nn.losses import SoftmaxCrossEntropy
+from repro.nn.sequential import Sequential
+
+__all__ = [
+    "Module",
+    "Parameter",
+    "he_normal",
+    "xavier_uniform",
+    "zeros",
+    "ones",
+    "Conv2d",
+    "DepthwiseConv2d",
+    "BatchNorm2d",
+    "ReLU",
+    "MaxPool2d",
+    "AvgPool2d",
+    "GlobalAvgPool2d",
+    "Linear",
+    "Concat",
+    "Add",
+    "SoftmaxCrossEntropy",
+    "Sequential",
+]

@@ -1,0 +1,169 @@
+"""Reference training-mode Batch Normalization (the paper's baseline).
+
+The implementation is deliberately staged the way the paper's Figure 5
+draws the baseline dataflow:
+
+* forward: **pass 1** reads X to compute the per-channel mean, **pass 2**
+  reads X again for the variance (two-pass, numerically canonical
+  ``E((X - E X)^2)``), **pass 3** reads X a third time to normalize and
+  writes Y. Three reads + one write of the mini-batch tensor.
+* backward: **pass 1** reads dY and X to reduce dgamma/dbeta, **pass 2**
+  reads dY and X again to form dX and writes it.
+
+Each stage is a separate method so the restructuring passes in
+:mod:`repro.passes` have a functional ground truth per sub-layer
+(sub-BN1 = stages 1-2, sub-BN2 = stage 3, sub-BN2' = backward stage 1,
+sub-BN1' = backward stage 2).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.config import BN_EPSILON
+from repro.errors import ExecutionError, ShapeError
+from repro.nn.init import ones, zeros
+from repro.nn.module import Module, Parameter
+
+
+class BatchNorm2d(Module):
+    """Per-channel batch normalization over (N, H, W) for NCHW inputs."""
+
+    def __init__(
+        self,
+        channels: int,
+        eps: float = BN_EPSILON,
+        momentum: float = 0.1,
+        name: str = "bn",
+    ):
+        super().__init__(name)
+        if channels <= 0:
+            raise ShapeError("channels must be positive")
+        self.channels = channels
+        self.eps = float(eps)
+        self.momentum = float(momentum)
+
+        self.gamma = self.register_parameter(Parameter(ones((channels,)), name="gamma"))
+        self.beta = self.register_parameter(Parameter(zeros((channels,)), name="beta"))
+
+        # Inference-time running statistics (not used in training math but
+        # updated by it, as in every mainstream framework).
+        self.running_mean = zeros((channels,)).astype(np.float64)
+        self.running_var = ones((channels,)).astype(np.float64)
+
+        # Backward caches.
+        self._x: Optional[np.ndarray] = None
+        self._mean: Optional[np.ndarray] = None
+        self._var: Optional[np.ndarray] = None
+        self._inv_std: Optional[np.ndarray] = None
+
+    # -- staged forward -------------------------------------------------------
+    def compute_mean(self, x: np.ndarray) -> np.ndarray:
+        """Forward pass 1: sweep X once for the per-channel mean."""
+        self._check_input(x)
+        return x.mean(axis=(0, 2, 3))
+
+    def compute_var(self, x: np.ndarray, mean: np.ndarray) -> np.ndarray:
+        """Forward pass 2: sweep X again for the two-pass (biased) variance."""
+        self._check_input(x)
+        centered = x - mean[None, :, None, None]
+        return (centered * centered).mean(axis=(0, 2, 3))
+
+    def normalize(
+        self, x: np.ndarray, mean: np.ndarray, var: np.ndarray
+    ) -> np.ndarray:
+        """Forward pass 3: sweep X a third time, write Y."""
+        inv_std = 1.0 / np.sqrt(var + self.eps)
+        x_hat = (x - mean[None, :, None, None]) * inv_std[None, :, None, None]
+        y = (
+            self.gamma.data[None, :, None, None] * x_hat
+            + self.beta.data[None, :, None, None]
+        )
+        self._x = x
+        self._mean = mean
+        self._var = var
+        self._inv_std = inv_std
+        return y.astype(x.dtype)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if not self.training:
+            return self._forward_inference(x)
+        mean = self.compute_mean(x)
+        var = self.compute_var(x, mean)
+        self._update_running(mean, var, x)
+        return self.normalize(x, mean, var)
+
+    def _forward_inference(self, x: np.ndarray) -> np.ndarray:
+        self._check_input(x)
+        inv_std = 1.0 / np.sqrt(self.running_var + self.eps)
+        scale = (self.gamma.data * inv_std).astype(x.dtype)
+        shift = (self.beta.data - self.running_mean * scale).astype(x.dtype)
+        return x * scale[None, :, None, None] + shift[None, :, None, None]
+
+    def _update_running(self, mean: np.ndarray, var: np.ndarray, x: np.ndarray) -> None:
+        n = x.shape[0] * x.shape[2] * x.shape[3]
+        unbiased = var * (n / max(n - 1, 1))
+        m = self.momentum
+        self.running_mean = (1 - m) * self.running_mean + m * mean.astype(np.float64)
+        self.running_var = (1 - m) * self.running_var + m * unbiased.astype(np.float64)
+
+    # -- staged backward ------------------------------------------------------
+    def param_grads(self, dy: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Backward pass 1 (sub-BN2'): reduce dgamma/dbeta from dY and X."""
+        x_hat = self._x_hat()
+        dgamma = (dy * x_hat).sum(axis=(0, 2, 3))
+        dbeta = dy.sum(axis=(0, 2, 3))
+        return dgamma, dbeta
+
+    def input_grad(
+        self, dy: np.ndarray, dgamma: np.ndarray, dbeta: np.ndarray
+    ) -> np.ndarray:
+        """Backward pass 2 (sub-BN1'): form dX from dY, X and the reductions.
+
+        Standard training-mode BN gradient:
+        ``dX = (gamma * inv_std / M) * (M*dY - dbeta - x_hat * dgamma)``
+        where M = N*H*W is the normalization population per channel.
+        """
+        x_hat = self._x_hat()
+        m = dy.shape[0] * dy.shape[2] * dy.shape[3]
+        g = (self.gamma.data * self._inv_std)[None, :, None, None]
+        dx = (g / m) * (
+            m * dy
+            - dbeta[None, :, None, None]
+            - x_hat * dgamma[None, :, None, None]
+        )
+        return dx.astype(dy.dtype)
+
+    def backward(self, dy: np.ndarray) -> np.ndarray:
+        if self._x is None:
+            raise ExecutionError(f"{self.name}: backward before forward")
+        if dy.shape != self._x.shape:
+            raise ShapeError(
+                f"{self.name}: dY shape {dy.shape} != X shape {self._x.shape}"
+            )
+        dgamma, dbeta = self.param_grads(dy)
+        self.gamma.accumulate_grad(dgamma.astype(self.gamma.data.dtype))
+        self.beta.accumulate_grad(dbeta.astype(self.beta.data.dtype))
+        return self.input_grad(dy, dgamma, dbeta)
+
+    # -- helpers ---------------------------------------------------------------
+    def _x_hat(self) -> np.ndarray:
+        if self._x is None or self._mean is None or self._inv_std is None:
+            raise ExecutionError(f"{self.name}: backward before forward")
+        return (self._x - self._mean[None, :, None, None]) * self._inv_std[
+            None, :, None, None
+        ]
+
+    def saved_stats(self) -> Tuple[np.ndarray, np.ndarray]:
+        """(mean, var) captured by the last training forward."""
+        if self._mean is None or self._var is None:
+            raise ExecutionError(f"{self.name}: no saved statistics")
+        return self._mean, self._var
+
+    def _check_input(self, x: np.ndarray) -> None:
+        if x.ndim != 4 or x.shape[1] != self.channels:
+            raise ShapeError(
+                f"{self.name}: expected (N,{self.channels},H,W), got {x.shape}"
+            )

@@ -1,0 +1,139 @@
+"""Depthwise 2-D convolution (MobileNet's workhorse).
+
+Each channel is convolved with its own single 2-D filter — the extreme of
+the paper's observation that modern CNNs shrink per-CONV arithmetic while
+keeping BN/ReLU costs: a depthwise 3x3 does K^2 = 9 FLOPs per output
+element versus hundreds for a dense convolution, so the surrounding BN and
+ReLU sweeps dominate even harder.
+
+The class exposes the same ``forward`` / ``prepare_backward`` /
+``backward_weights`` / ``backward_data`` interface as
+:class:`~repro.nn.conv.Conv2d`, so every fused BNFF kernel works on it
+unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ExecutionError, ShapeError
+from repro.nn.init import he_normal
+from repro.nn.module import Module, Parameter
+from repro.tensors.shapes import conv2d_output_hw
+
+
+class DepthwiseConv2d(Module):
+    """Per-channel square-kernel convolution (groups == channels)."""
+
+    def __init__(
+        self,
+        channels: int,
+        kernel: int,
+        stride: int = 1,
+        padding: int = 0,
+        name: str = "dwconv",
+        seed: Optional[int] = None,
+    ):
+        super().__init__(name)
+        if channels <= 0:
+            raise ShapeError("channels must be positive")
+        self.channels = channels
+        self.in_channels = channels   # Conv2d-compatible aliases
+        self.out_channels = channels
+        self.kernel = kernel
+        self.stride = stride
+        self.padding = padding
+        self.weight = self.register_parameter(
+            Parameter(
+                he_normal((channels, kernel, kernel), fan_in=kernel * kernel,
+                          seed=seed),
+                name="weight",
+            )
+        )
+        self.bias = None
+        self._windows: Optional[np.ndarray] = None
+        self._x_shape: Optional[Tuple[int, ...]] = None
+
+    # -- shared lowering -------------------------------------------------------
+    def _window_view(self, x: np.ndarray) -> np.ndarray:
+        if self.padding > 0:
+            x = np.pad(
+                x,
+                ((0, 0), (0, 0), (self.padding, self.padding),
+                 (self.padding, self.padding)),
+                mode="constant",
+            )
+        win = np.lib.stride_tricks.sliding_window_view(
+            x, (self.kernel, self.kernel), axis=(2, 3)
+        )
+        return win[:, :, :: self.stride, :: self.stride]
+
+    # -- forward ------------------------------------------------------------------
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if x.ndim != 4 or x.shape[1] != self.channels:
+            raise ShapeError(
+                f"{self.name}: expected (N,{self.channels},H,W), got {x.shape}"
+            )
+        self._x_shape = x.shape
+        win = self._window_view(x)  # (N, C, OH, OW, K, K)
+        self._windows = win
+        return np.einsum("nchwij,cij->nchw", win, self.weight.data,
+                         optimize=True).astype(x.dtype)
+
+    def prepare_backward(self, x: np.ndarray) -> None:
+        """Rebuild backward caches from a recomputed input (fusion path)."""
+        if x.ndim != 4 or x.shape[1] != self.channels:
+            raise ShapeError(
+                f"{self.name}: expected (N,{self.channels},H,W), got {x.shape}"
+            )
+        self._x_shape = x.shape
+        self._windows = self._window_view(x)
+
+    # -- backward -------------------------------------------------------------------
+    def backward_weights(self, dy: np.ndarray) -> None:
+        if self._windows is None:
+            raise ExecutionError(f"{self.name}: backward before forward")
+        dw = np.einsum("nchwij,nchw->cij", self._windows, dy, optimize=True)
+        self.weight.accumulate_grad(dw.astype(self.weight.data.dtype))
+
+    def backward_data(self, dy: np.ndarray) -> np.ndarray:
+        if self._x_shape is None:
+            raise ExecutionError(f"{self.name}: backward before forward")
+        n, c, h, w = self._x_shape
+        p, k, s = self.padding, self.kernel, self.stride
+        oh, ow = dy.shape[2], dy.shape[3]
+        dxp = np.zeros((n, c, h + 2 * p, w + 2 * p), dtype=dy.dtype)
+
+        # Scatter dy * w into the padded gradient: same index grid as col2im.
+        ky, kx = np.meshgrid(np.arange(k), np.arange(k), indexing="ij")
+        oy, ox = np.meshgrid(np.arange(oh), np.arange(ow), indexing="ij")
+        rows = (oy[..., None, None] * s + ky)[None, None]
+        cols = (ox[..., None, None] * s + kx)[None, None]
+        contrib = dy[..., None, None] * self.weight.data[None, :, None, None]
+        np.add.at(
+            dxp,
+            (
+                np.arange(n)[:, None, None, None, None, None],
+                np.arange(c)[None, :, None, None, None, None],
+                rows,
+                cols,
+            ),
+            contrib,
+        )
+        if p > 0:
+            return dxp[:, :, p:-p, p:-p]
+        return dxp
+
+    def backward(self, dy: np.ndarray) -> np.ndarray:
+        self.backward_weights(dy)
+        return self.backward_data(dy)
+
+    def output_hw(self, in_hw):
+        return conv2d_output_hw(in_hw, self.kernel, self.stride, self.padding)
+
+    @property
+    def flops_per_output_element(self) -> int:
+        """K^2 multiply-accumulates (x2) — no channel-mixing term."""
+        return 2 * self.kernel * self.kernel

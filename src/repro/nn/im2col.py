@@ -1,0 +1,93 @@
+"""im2col / col2im lowering used by the numpy convolution.
+
+The convolution is expressed as one big GEMM over an im2col matrix — the
+classic Caffe lowering. That keeps the Python layer free of pixel loops
+(everything is stride tricks + one matmul) and mirrors how the reference
+framework in the paper actually executes convolutions.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.tensors.shapes import conv2d_output_hw
+
+
+def im2col(
+    x: np.ndarray, kernel: int, stride: int, padding: int
+) -> Tuple[np.ndarray, Tuple[int, int]]:
+    """Lower NCHW input to a ``(N*OH*OW, C*K*K)`` patch matrix.
+
+    Returns the patch matrix and the output spatial size. Uses
+    ``sliding_window_view`` (zero-copy) followed by a single reshape-copy,
+    so the only data movement is the one the GEMM needs anyway.
+    """
+    if x.ndim != 4:
+        raise ShapeError(f"im2col expects NCHW, got shape {x.shape}")
+    n, c, h, w = x.shape
+    out_h, out_w = conv2d_output_hw((h, w), kernel, stride, padding)
+
+    if padding > 0:
+        x = np.pad(
+            x,
+            ((0, 0), (0, 0), (padding, padding), (padding, padding)),
+            mode="constant",
+        )
+
+    # windows: (N, C, OH', OW', K, K) view, then stride over OH'/OW'.
+    windows = np.lib.stride_tricks.sliding_window_view(x, (kernel, kernel), axis=(2, 3))
+    windows = windows[:, :, ::stride, ::stride, :, :]
+    # -> (N, OH, OW, C, K, K) -> (N*OH*OW, C*K*K)
+    cols = windows.transpose(0, 2, 3, 1, 4, 5).reshape(n * out_h * out_w, c * kernel * kernel)
+    return np.ascontiguousarray(cols), (out_h, out_w)
+
+
+def col2im(
+    cols: np.ndarray,
+    input_shape: Tuple[int, int, int, int],
+    kernel: int,
+    stride: int,
+    padding: int,
+) -> np.ndarray:
+    """Scatter-add a patch matrix back to NCHW (adjoint of :func:`im2col`).
+
+    Overlapping patches accumulate, which is exactly the gradient of the
+    patch extraction. Implemented with ``np.add.at`` over a precomputed
+    index grid — no Python-level pixel loops.
+    """
+    n, c, h, w = input_shape
+    out_h, out_w = conv2d_output_hw((h, w), kernel, stride, padding)
+    if cols.shape != (n * out_h * out_w, c * kernel * kernel):
+        raise ShapeError(
+            f"col2im: cols shape {cols.shape} does not match "
+            f"{(n * out_h * out_w, c * kernel * kernel)}"
+        )
+
+    padded = np.zeros((n, c, h + 2 * padding, w + 2 * padding), dtype=cols.dtype)
+
+    # Destination row/col index for every (output position, kernel offset).
+    ky, kx = np.meshgrid(np.arange(kernel), np.arange(kernel), indexing="ij")
+    oy, ox = np.meshgrid(np.arange(out_h), np.arange(out_w), indexing="ij")
+    rows = oy[..., None, None] * stride + ky  # (OH, OW, K, K)
+    cols_idx = ox[..., None, None] * stride + kx
+
+    patches = cols.reshape(n, out_h, out_w, c, kernel, kernel)
+    # -> (N, C, OH, OW, K, K) to align with index grids.
+    patches = patches.transpose(0, 3, 1, 2, 4, 5)
+    np.add.at(
+        padded,
+        (
+            np.arange(n)[:, None, None, None, None, None],
+            np.arange(c)[None, :, None, None, None, None],
+            rows[None, None],
+            cols_idx[None, None],
+        ),
+        patches,
+    )
+
+    if padding > 0:
+        return padded[:, :, padding:-padding, padding:-padding]
+    return padded

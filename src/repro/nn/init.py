@@ -1,0 +1,45 @@
+"""Weight initializers for the numpy substrate.
+
+Only what the paper's models need: He-normal for conv/FC weights feeding
+ReLUs (ResNet/DenseNet convention), Xavier for the final classifier, and
+constant fills for BN parameters.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+import numpy as np
+
+from repro.config import DEFAULT_DTYPE, rng
+
+
+def he_normal(shape: Tuple[int, ...], fan_in: int | None = None, seed: int | None = None) -> np.ndarray:
+    """Kaiming/He normal init: ``N(0, sqrt(2 / fan_in))``.
+
+    ``fan_in`` defaults to ``prod(shape[1:])`` which is correct for both
+    OIHW conv weights and (out, in) FC weights.
+    """
+    if fan_in is None:
+        fan_in = int(np.prod(shape[1:]))
+    std = math.sqrt(2.0 / max(fan_in, 1))
+    return rng(seed).normal(0.0, std, size=shape).astype(DEFAULT_DTYPE)
+
+
+def xavier_uniform(shape: Tuple[int, ...], seed: int | None = None) -> np.ndarray:
+    """Glorot/Xavier uniform init over ``[-a, a]``, ``a = sqrt(6/(fi+fo))``."""
+    fan_out = shape[0]
+    fan_in = int(np.prod(shape[1:]))
+    a = math.sqrt(6.0 / max(fan_in + fan_out, 1))
+    return rng(seed).uniform(-a, a, size=shape).astype(DEFAULT_DTYPE)
+
+
+def zeros(shape: Tuple[int, ...]) -> np.ndarray:
+    """Constant zero fill (BN beta, biases)."""
+    return np.zeros(shape, dtype=DEFAULT_DTYPE)
+
+
+def ones(shape: Tuple[int, ...]) -> np.ndarray:
+    """Constant one fill (BN gamma)."""
+    return np.ones(shape, dtype=DEFAULT_DTYPE)

@@ -1,0 +1,173 @@
+"""Pooling layers: max, average and global average.
+
+Max/avg pooling are implemented on top of the same sliding-window view the
+convolution uses, so there are no Python-level pixel loops. Backward for max
+pooling scatters through the argmax; for average pooling it spreads evenly —
+both via a single ``np.add.at``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ExecutionError, ShapeError
+from repro.nn.module import Module
+from repro.tensors.shapes import pool2d_output_hw
+
+
+class _Pool2d(Module):
+    """Shared plumbing for Max/Avg pooling."""
+
+    def __init__(
+        self,
+        kernel: int,
+        stride: Optional[int] = None,
+        padding: int = 0,
+        ceil_mode: bool = False,
+        name: str = "pool",
+    ):
+        super().__init__(name)
+        self.kernel = kernel
+        self.stride = kernel if stride is None else stride
+        self.padding = padding
+        self.ceil_mode = ceil_mode
+        self._x_shape: Optional[Tuple[int, int, int, int]] = None
+
+    def output_hw(self, in_hw):
+        return pool2d_output_hw(in_hw, self.kernel, self.stride, self.padding, self.ceil_mode)
+
+    def _padded(self, x: np.ndarray, fill: float) -> np.ndarray:
+        p = self.padding
+        # ceil_mode can require extra padding on the bottom/right so the last
+        # window fits; compute the needed extent from the output size.
+        h, w = x.shape[2], x.shape[3]
+        out_h, out_w = self.output_hw((h, w))
+        need_h = (out_h - 1) * self.stride + self.kernel - h - p
+        need_w = (out_w - 1) * self.stride + self.kernel - w - p
+        if p > 0 or need_h > p or need_w > p:
+            return np.pad(
+                x,
+                ((0, 0), (0, 0), (p, max(need_h, p)), (p, max(need_w, p))),
+                mode="constant",
+                constant_values=fill,
+            )
+        return x
+
+    def _windows(self, xp: np.ndarray) -> np.ndarray:
+        win = np.lib.stride_tricks.sliding_window_view(xp, (self.kernel, self.kernel), axis=(2, 3))
+        return win[:, :, :: self.stride, :: self.stride]
+
+
+class MaxPool2d(_Pool2d):
+    """Max pooling with argmax-routed backward."""
+
+    def __init__(self, kernel: int, stride: Optional[int] = None, padding: int = 0,
+                 ceil_mode: bool = False, name: str = "maxpool"):
+        super().__init__(kernel, stride, padding, ceil_mode, name)
+        self._argmax: Optional[np.ndarray] = None
+        self._padded_shape: Optional[Tuple[int, ...]] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if x.ndim != 4:
+            raise ShapeError(f"{self.name}: expected NCHW, got {x.shape}")
+        self._x_shape = x.shape
+        xp = self._padded(x, fill=-np.inf)
+        self._padded_shape = xp.shape
+        win = self._windows(xp)  # (N, C, OH, OW, K, K)
+        n, c, oh, ow = win.shape[:4]
+        flat = win.reshape(n, c, oh, ow, -1)
+        self._argmax = flat.argmax(axis=-1)
+        return flat.max(axis=-1)
+
+    def backward(self, dy: np.ndarray) -> np.ndarray:
+        if self._argmax is None or self._x_shape is None:
+            raise ExecutionError(f"{self.name}: backward before forward")
+        n, c, hp, wp = self._padded_shape
+        oh, ow = dy.shape[2], dy.shape[3]
+        dxp = np.zeros((n, c, hp, wp), dtype=dy.dtype)
+
+        ky = self._argmax // self.kernel
+        kx = self._argmax % self.kernel
+        oy = np.arange(oh)[None, None, :, None]
+        ox = np.arange(ow)[None, None, None, :]
+        rows = oy * self.stride + ky
+        cols = ox * self.stride + kx
+        np.add.at(
+            dxp,
+            (
+                np.arange(n)[:, None, None, None],
+                np.arange(c)[None, :, None, None],
+                rows,
+                cols,
+            ),
+            dy,
+        )
+        p = self.padding
+        h, w = self._x_shape[2], self._x_shape[3]
+        return dxp[:, :, p : p + h, p : p + w]
+
+
+class AvgPool2d(_Pool2d):
+    """Average pooling (count includes padding, Caffe-style)."""
+
+    def __init__(self, kernel: int, stride: Optional[int] = None, padding: int = 0,
+                 ceil_mode: bool = False, name: str = "avgpool"):
+        super().__init__(kernel, stride, padding, ceil_mode, name)
+        self._padded_shape: Optional[Tuple[int, ...]] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if x.ndim != 4:
+            raise ShapeError(f"{self.name}: expected NCHW, got {x.shape}")
+        self._x_shape = x.shape
+        xp = self._padded(x, fill=0.0)
+        self._padded_shape = xp.shape
+        win = self._windows(xp)
+        return win.mean(axis=(-2, -1))
+
+    def backward(self, dy: np.ndarray) -> np.ndarray:
+        if self._x_shape is None:
+            raise ExecutionError(f"{self.name}: backward before forward")
+        n, c, hp, wp = self._padded_shape
+        oh, ow = dy.shape[2], dy.shape[3]
+        share = dy / (self.kernel * self.kernel)
+        dxp = np.zeros((n, c, hp, wp), dtype=dy.dtype)
+
+        ky, kx = np.meshgrid(np.arange(self.kernel), np.arange(self.kernel), indexing="ij")
+        oy, ox = np.meshgrid(np.arange(oh), np.arange(ow), indexing="ij")
+        rows = (oy[..., None, None] * self.stride + ky)[None, None]
+        cols = (ox[..., None, None] * self.stride + kx)[None, None]
+        np.add.at(
+            dxp,
+            (
+                np.arange(n)[:, None, None, None, None, None],
+                np.arange(c)[None, :, None, None, None, None],
+                rows,
+                cols,
+            ),
+            np.broadcast_to(share[..., None, None], share.shape + (self.kernel, self.kernel)),
+        )
+        p = self.padding
+        h, w = self._x_shape[2], self._x_shape[3]
+        return dxp[:, :, p : p + h, p : p + w]
+
+
+class GlobalAvgPool2d(Module):
+    """Spatial global average -> (N, C, 1, 1), as before the classifier FC."""
+
+    def __init__(self, name: str = "gap"):
+        super().__init__(name)
+        self._x_shape: Optional[Tuple[int, ...]] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if x.ndim != 4:
+            raise ShapeError(f"{self.name}: expected NCHW, got {x.shape}")
+        self._x_shape = x.shape
+        return x.mean(axis=(2, 3), keepdims=True)
+
+    def backward(self, dy: np.ndarray) -> np.ndarray:
+        if self._x_shape is None:
+            raise ExecutionError(f"{self.name}: backward before forward")
+        n, c, h, w = self._x_shape
+        return np.broadcast_to(dy / (h * w), self._x_shape).astype(dy.dtype).copy()

@@ -1,0 +1,44 @@
+"""Sequential container for straight-line sub-networks."""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+import numpy as np
+
+from repro.nn.module import Module
+
+
+class Sequential(Module):
+    """Run modules in order; backward runs them in reverse.
+
+    Only single-input single-output modules are allowed here — branching
+    topologies (DenseNet blocks, ResNet shortcuts) are expressed with the
+    graph executor instead, which is the representation the paper's passes
+    actually transform.
+    """
+
+    def __init__(self, modules: Iterable[Module], name: str = "seq"):
+        super().__init__(name)
+        self.layers: List[Module] = list(modules)
+        for m in self.layers:
+            self.register_module(m)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        for m in self.layers:
+            x = m(x)
+        return x
+
+    def backward(self, dy: np.ndarray) -> np.ndarray:
+        for m in reversed(self.layers):
+            dy = m.backward(dy)
+        return dy
+
+    def __iter__(self):
+        return iter(self.layers)
+
+    def __len__(self) -> int:
+        return len(self.layers)
+
+    def __getitem__(self, idx: int) -> Module:
+        return self.layers[idx]

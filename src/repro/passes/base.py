@@ -1,0 +1,77 @@
+"""Pass framework: base class, result records, and the manager."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.errors import PassError
+from repro.graph.graph import LayerGraph
+from repro.graph.node import Node
+
+
+@dataclass
+class PassResult:
+    """What one pass did to one graph — used by reports and pinned by tests."""
+
+    pass_name: str
+    nodes_fused: int = 0
+    sweeps_removed: int = 0
+    sweeps_added: int = 0
+    details: List[str] = field(default_factory=list)
+
+    @property
+    def net_sweeps_removed(self) -> int:
+        return self.sweeps_removed - self.sweeps_added
+
+    def log(self, message: str) -> None:
+        self.details.append(message)
+
+
+class Pass:
+    """Base class: subclasses implement :meth:`run` and set ``name``."""
+
+    name = "pass"
+
+    def run(self, graph: LayerGraph) -> PassResult:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def __call__(self, graph: LayerGraph) -> PassResult:
+        result = self.run(graph)
+        graph.validate()
+        return result
+
+    # -- shared helpers ---------------------------------------------------------
+    @staticmethod
+    def ghost(node: Node, fused_into: str, result: PassResult) -> None:
+        """Zero a node out after its work was folded into *fused_into*."""
+        if node.attrs.get("fused_into"):
+            raise PassError(f"{node.name} already fused into "
+                            f"{node.attrs['fused_into']!r}")
+        result.sweeps_removed += len(node.fwd_sweeps) + len(node.bwd_sweeps)
+        node.fwd_sweeps = []
+        node.bwd_sweeps = []
+        node.fwd_invocations = 0
+        node.bwd_invocations = 0
+        node.attrs["fused_into"] = fused_into
+        result.nodes_fused += 1
+
+    @staticmethod
+    def is_ghost(node: Node) -> bool:
+        return bool(node.attrs.get("fused_into"))
+
+
+class PassManager:
+    """Apply a pipeline of passes, validating the graph after each."""
+
+    def __init__(self, passes: List[Pass]):
+        self.passes = list(passes)
+
+    def run(self, graph: LayerGraph) -> List[PassResult]:
+        results = []
+        for p in self.passes:
+            results.append(p(graph))
+        return results
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"PassManager({[p.name for p in self.passes]})"

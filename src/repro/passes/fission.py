@@ -1,0 +1,81 @@
+"""Fission: split every BN layer into sub-BN1 (statistics) and sub-BN2
+(normalization), with the backward mirror (sub-BN1' input-grad, sub-BN2'
+parameter-grad).
+
+Fission alone moves no memory traffic — the two sub-layers inherit exactly
+the five-read/two-write ledger of the original BN — but it creates the
+fusion *sites*: sub-BN1 can glue to the preceding CONV and sub-BN2 to the
+following ReLU+CONV (paper Section 3.2). The backward execution order falls
+out of the node order for free: the reverse schedule visits sub-BN2'
+(dgamma/dbeta) before sub-BN1' (dX), which is the strict dependency BN's
+backward imposes.
+"""
+
+from __future__ import annotations
+
+from repro.graph.graph import LayerGraph
+from repro.graph.node import Node, OpKind
+from repro.graph.sweeps import attach_reference_sweeps
+from repro.passes.base import Pass, PassResult
+from repro.tensors.tensor_spec import TensorKind, TensorSpec
+
+
+class FissionPass(Pass):
+    """Replace each BN node with a BN_STATS + BN_NORM pair."""
+
+    name = "fission"
+
+    def run(self, graph: LayerGraph) -> PassResult:
+        result = PassResult(self.name)
+        for bn in list(graph.nodes_of_kind(OpKind.BN)):
+            self._split(graph, bn, result)
+        return result
+
+    def _split(self, graph: LayerGraph, bn: Node, result: PassResult) -> None:
+        x = bn.inputs[0]
+        y = bn.outputs[0]
+        channels = bn.attrs["channels"]
+        position = graph.index_of(bn.name)
+        graph.remove_node(bn.name)
+
+        # Per-channel (mean, var) vector produced by sub-BN1 for sub-BN2;
+        # cache-resident, so it never contributes DRAM sweeps.
+        stats_tensor = TensorSpec(
+            f"{bn.name}.stats_out", (2, channels),
+            kind=TensorKind.CHANNEL_STAT, dtype=graph.tensor(x).dtype,
+        )
+        graph.add_tensor(stats_tensor)
+
+        stats = Node(
+            name=f"{bn.name}.stats",
+            kind=OpKind.BN_STATS,
+            inputs=[x],
+            outputs=[stats_tensor.name],
+            attrs={
+                "channels": channels,
+                "bn_name": bn.name,
+                # The backward input-grad pass consumes the gradient at the
+                # BN *output* tensor, which sub-BN2 produces in forward.
+                "y_grad_source": y,
+                "norm_node": f"{bn.name}.norm",
+            },
+            region=bn.region,
+        )
+        norm = Node(
+            name=f"{bn.name}.norm",
+            kind=OpKind.BN_NORM,
+            inputs=[x, stats_tensor.name],
+            outputs=[y],
+            attrs={
+                "channels": channels,
+                "bn_name": bn.name,
+                "stats_node": stats.name,
+            },
+            region=bn.region,
+        )
+        graph.add_node(stats, position=position)
+        graph.add_node(norm, position=position + 1)
+        attach_reference_sweeps(stats)
+        attach_reference_sweeps(norm)
+        result.nodes_fused += 1
+        result.log(f"fissioned {bn.name} -> {stats.name} + {norm.name}")

@@ -1,0 +1,104 @@
+"""ICF — Inter-Composite-layer Fusion.
+
+After :class:`~repro.passes.fusion.FusionPass`, the BN layers whose input
+crosses a composite-layer boundary (DenseNet's first-in-CPL BNs, fed by
+Concat through Split) still pay a standalone statistics sweep forward and a
+standalone input-gradient pass backward. ICF claims both, as the paper
+sketches in Section 3.2:
+
+* forward: the statistics accumulate while the node that *writes* the BN
+  input (the Concat — or the stem/transition pool for the first CPL of a
+  block) produces it; the standalone sweep disappears.
+* backward: the sub-BN1' transform is applied inside the Split (or Concat)
+  backward that already consumes this branch's gradient: the branch
+  gradient read is retargeted to the BN-output gradient and one read of the
+  BN input is added for the ``x_hat`` recompute.
+
+The paper estimated ICF rather than implementing it; here it is a real
+ledger/graph transformation (and the functional executor runs it), so the
+simulator's ICF numbers are physically grounded — EXPERIMENTS.md compares
+them against the paper's extrapolation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.errors import PassError
+from repro.graph.graph import LayerGraph
+from repro.graph.node import Node, OpKind
+from repro.graph.sweeps import Direction, Sweep
+from repro.passes.base import Pass, PassResult
+
+
+class ICFPass(Pass):
+    """Fuse leftover boundary sub-BN1 layers with Concat/Split neighbours."""
+
+    name = "icf"
+
+    def run(self, graph: LayerGraph) -> PassResult:
+        if graph.nodes_of_kind(OpKind.BN):
+            raise PassError(
+                "ICFPass requires fissioned BN layers; run FissionPass first"
+            )
+        result = PassResult(self.name)
+        for stats in list(graph.nodes_of_kind(OpKind.BN_STATS)):
+            if self.is_ghost(stats):
+                continue
+            self._fuse_boundary(graph, stats, result)
+        return result
+
+    def _fuse_boundary(self, graph: LayerGraph, stats: Node, result: PassResult) -> None:
+        x = stats.inputs[0]
+        producer = graph.producer_of(x)
+        if producer is None or self.is_ghost(producer):
+            return
+
+        if producer.kind == OpKind.SPLIT:
+            bwd_host = producer
+            hub_tensor = producer.inputs[0]
+            fwd_host = graph.producer_of(hub_tensor)
+        elif producer.kind == OpKind.CONCAT:
+            bwd_host = producer
+            hub_tensor = producer.outputs[0]
+            fwd_host = producer
+        else:
+            # Not a composite-layer boundary ICF understands (should have
+            # been claimed by FusionPass if the producer were a CONV).
+            return
+        if fwd_host is None or self.is_ghost(fwd_host):
+            return
+
+        y = stats.attrs["y_grad_source"]
+
+        # Backward: retarget the host's read of this branch's gradient to the
+        # BN-output gradient and add the x_hat recompute read.
+        grad_tensor = x if producer.kind == OpKind.SPLIT else hub_tensor
+        new_bwd = []
+        retargeted = False
+        for sweep in bwd_host.bwd_sweeps:
+            if (not retargeted and sweep.tag == "read_dy"
+                    and sweep.tensor == grad_tensor and sweep.grad):
+                sweep = replace(sweep, tensor=y,
+                                note="icf: sub-BN1' transform inline")
+                retargeted = True
+            new_bwd.append(sweep)
+        if not retargeted:
+            return  # host's ledger does not carry this branch; leave BN alone
+        new_bwd.append(Sweep(hub_tensor, Direction.READ, "read_xbn_icf",
+                             origin=stats.name,
+                             note="icf: x_hat recompute for transform"))
+        bwd_host.bwd_sweeps = new_bwd
+        result.sweeps_added += 1
+
+        # Forward: statistics ride the writer of the BN input.
+        fwd_host.attrs.setdefault("icf_stats", []).append(stats.name)
+        fwd_host.fused_from.append(f"icf_bn_stats:{stats.name}")
+        bwd_host.attrs.setdefault("icf_input_grad", []).append(stats.name)
+        bwd_host.fused_from.append(f"icf_bn_input_grad:{stats.name}")
+
+        self.ghost(stats, bwd_host.name, result)
+        result.log(
+            f"icf fused {stats.name}: stats -> {fwd_host.name}, "
+            f"input-grad -> {bwd_host.name}"
+        )

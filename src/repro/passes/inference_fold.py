@@ -1,0 +1,76 @@
+"""Inference-time BN folding — the classical fusion BNFF generalizes.
+
+Section 2.1 of the paper notes that at *inference* time BN is a pure
+elementwise affine (running statistics are frozen), so frameworks have long
+folded it into the preceding convolution's weights:
+
+    W' = W * gamma / sqrt(running_var + eps)       (per output channel)
+    b' = beta - running_mean * gamma / sqrt(running_var + eps)
+
+The paper's whole point is that this classic trick does **not** work during
+training (mini-batch statistics depend on the convolution's own output) —
+BNFF is what recovers the fusion there. Implementing the inference fold
+here completes the story and lets tests make the contrast explicit: the
+inference pass rewrites *weights* and deletes the BN entirely; BNFF leaves
+parameters alone and restructures the *schedule*.
+
+This pass operates on the functional level (an executor's modules) rather
+than the sweep ledger, because its payoff is inference-mode numerics, not
+training-traffic accounting.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.errors import PassError
+from repro.graph.graph import LayerGraph
+from repro.graph.node import OpKind
+from repro.nn.batchnorm import BatchNorm2d
+from repro.nn.conv import Conv2d
+
+
+def fold_bn_into_conv(conv: Conv2d, bn: BatchNorm2d) -> None:
+    """Absorb *bn*'s inference affine into *conv*'s weights in place.
+
+    After folding, ``conv(x)`` (with its new weights and bias) equals
+    ``bn.eval()(conv_original(x))`` exactly, so the BN module can be
+    dropped from the inference graph.
+    """
+    if conv.out_channels != bn.channels:
+        raise PassError(
+            f"cannot fold {bn.name} ({bn.channels}ch) into {conv.name} "
+            f"({conv.out_channels}ch)"
+        )
+    inv_std = 1.0 / np.sqrt(bn.running_var + bn.eps)
+    scale = (bn.gamma.data * inv_std).astype(conv.weight.data.dtype)
+    shift = (bn.beta.data - bn.running_mean * bn.gamma.data * inv_std).astype(
+        conv.weight.data.dtype
+    )
+    conv.weight.data = conv.weight.data * scale[:, None, None, None]
+    if conv.bias is None:
+        # Materialize a bias to carry the shift.
+        from repro.nn.module import Parameter
+
+        conv.bias = conv.register_parameter(
+            Parameter(shift.copy(), name="bias")
+        )
+    else:
+        conv.bias.data = conv.bias.data * scale + shift
+
+
+def foldable_pairs(graph: LayerGraph) -> List[Tuple[str, str]]:
+    """(conv node, bn node) pairs where the BN directly follows the conv.
+
+    Exactly the producer-side pattern of the training-time FusionPass —
+    the difference is what can be done with it: at inference the BN
+    vanishes into the weights; at training only its *schedule* can move.
+    """
+    pairs = []
+    for bn in graph.nodes_of_kind(OpKind.BN):
+        producer = graph.producer_of(bn.inputs[0])
+        if producer is not None and producer.kind is OpKind.CONV:
+            pairs.append((producer.name, bn.name))
+    return pairs

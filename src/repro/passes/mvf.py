@@ -1,0 +1,46 @@
+"""MVF — Mean/Variance Fusion.
+
+Replaces the two forward statistics sweeps of every BN (or, after Fission,
+every sub-BN1) with a single sweep that accumulates ``sum(x)`` and
+``sum(x^2)`` together, using ``Var(X) = E(X^2) - E(X)^2``. Forward only —
+the paper notes MVF has no backward counterpart (Figure 7's "**MVF is not
+applicable to backward pass**").
+"""
+
+from __future__ import annotations
+
+from repro.graph.graph import LayerGraph
+from repro.graph.node import Node, OpKind
+from repro.passes.base import Pass, PassResult
+
+
+class MVFPass(Pass):
+    """Merge each BN's mean and variance sweeps into one statistics sweep."""
+
+    name = "mvf"
+
+    def run(self, graph: LayerGraph) -> PassResult:
+        result = PassResult(self.name)
+        for node in graph.nodes_of_kind(OpKind.BN, OpKind.BN_STATS):
+            if self.is_ghost(node) or node.attrs.get("mvf"):
+                continue
+            self._merge(node, result)
+        return result
+
+    def _merge(self, node: Node, result: PassResult) -> None:
+        kept = []
+        merged = False
+        for sweep in node.fwd_sweeps:
+            if sweep.tag == "read_x_mean":
+                kept.append(sweep.retagged("read_x_stats", note="mvf: one-pass E(X), E(X^2)"))
+                merged = True
+            elif sweep.tag == "read_x_var":
+                result.sweeps_removed += 1
+            else:
+                kept.append(sweep)
+        if merged:
+            node.fwd_sweeps = kept
+            node.attrs["mvf"] = True
+            node.fused_from.append("mvf:variance_sweep")
+            result.nodes_fused += 1
+            result.log(f"mvf applied to {node.name}")

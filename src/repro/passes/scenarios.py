@@ -1,0 +1,59 @@
+"""Named restructuring scenarios — the four configurations of Figure 7.
+
+==============  =============================================================
+Scenario        Pass pipeline
+==============  =============================================================
+``baseline``    (none)
+``rcf``         RCF
+``rcf_mvf``     RCF + MVF
+``bnff``        Fission + MVF + RCF + Fusion   (the paper's BNFF)
+``bnff_icf``    BNFF + ICF                     (paper: estimated; here: run)
+==============  =============================================================
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.errors import PassError
+from repro.graph.graph import LayerGraph
+from repro.passes.base import Pass, PassManager, PassResult
+from repro.passes.fission import FissionPass
+from repro.passes.fusion import FusionPass
+from repro.passes.icf import ICFPass
+from repro.passes.mvf import MVFPass
+from repro.passes.rcf import RCFPass
+
+#: Scenario name -> pass-class pipeline, in application order.
+SCENARIOS: Dict[str, Tuple[type, ...]] = {
+    "baseline": (),
+    "rcf": (RCFPass,),
+    "rcf_mvf": (RCFPass, MVFPass),
+    "bnff": (FissionPass, MVFPass, RCFPass, FusionPass),
+    "bnff_icf": (FissionPass, MVFPass, RCFPass, FusionPass, ICFPass),
+}
+
+#: Presentation order used by reports and benches.
+SCENARIO_ORDER = ("baseline", "rcf", "rcf_mvf", "bnff", "bnff_icf")
+
+
+def scenario_passes(name: str) -> List[Pass]:
+    """Instantiate the pass pipeline for a named scenario."""
+    try:
+        classes = SCENARIOS[name]
+    except KeyError:
+        raise PassError(
+            f"unknown scenario {name!r}; available: {sorted(SCENARIOS)}"
+        ) from None
+    return [cls() for cls in classes]
+
+
+def apply_scenario(graph: LayerGraph, name: str) -> Tuple[LayerGraph, List[PassResult]]:
+    """Clone *graph*, apply the named scenario, return (graph, pass results).
+
+    The input graph is never mutated, so one built model can be compared
+    across all scenarios.
+    """
+    g = graph.clone()
+    results = PassManager(scenario_passes(name)).run(g)
+    return g, results

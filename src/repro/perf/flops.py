@@ -1,0 +1,101 @@
+"""Arithmetic-work model: FMA FLOPs for CONV/FC, SIMD ops for everything else.
+
+The distinction matters for reproducing Figure 4: the lean layers never use
+fused multiply-adds, so their compute ceiling is the machine's elementwise
+SIMD throughput, not its FMA peak — that is what makes a ~20x infinite-
+bandwidth speedup come out of the arithmetic instead of being assumed.
+
+Restructuring never changes these counts (the paper's fusion moves work, it
+does not remove arithmetic); the simulator charges ghosted nodes' ops to
+their fusion hosts.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.errors import SimulationError
+from repro.graph.graph import LayerGraph
+from repro.graph.node import Node, OpKind
+
+
+def node_flops(node: Node, graph: LayerGraph) -> Tuple[float, float]:
+    """(forward, backward) FMA FLOPs for CONV/FC nodes; zero otherwise.
+
+    Convolution backward is two GEMM-shaped computations (data + weights),
+    each the size of the forward one.
+    """
+    if node.kind == OpKind.CONV:
+        y = graph.tensor(node.outputs[0])
+        k = node.attrs["kernel"]
+        # Depthwise convolutions mix no channels: K^2 MACs per output
+        # element instead of K^2 * Cin.
+        cin = 1 if node.attrs.get("depthwise") else node.attrs["in_channels"]
+        fwd = 2.0 * k * k * cin * y.num_elements
+        return fwd, 2.0 * fwd
+    if node.kind == OpKind.FC:
+        y = graph.tensor(node.outputs[0])
+        fwd = 2.0 * node.attrs["in_features"] * y.num_elements
+        return fwd, 2.0 * fwd
+    return 0.0, 0.0
+
+
+#: (forward, backward) elementwise SIMD operations *per input element*.
+#: BN forward: mean accumulate (1) + centered-square accumulate (3) +
+#: normalize mul/add with precomputed scale/shift (3); with MVF the two
+#: statistics passes collapse to x-accumulate + x^2 multiply-accumulate (3
+#: ops total). Backward: dgamma/dbeta reductions with x_hat recompute (4) +
+#: the three-term input-gradient transform (6).
+_EOPS_PER_ELEMENT = {
+    OpKind.BN: (7.0, 10.0),
+    OpKind.BN_STATS: (4.0, 6.0),
+    OpKind.BN_NORM: (3.0, 4.0),
+    OpKind.RELU: (1.0, 2.0),
+    OpKind.POOL_MAX: (1.0, 1.0),
+    OpKind.POOL_AVG: (1.0, 1.0),
+    OpKind.POOL_GLOBAL: (1.0, 1.0),
+    OpKind.EWS: (1.0, 1.0),
+    OpKind.LOSS: (10.0, 2.0),
+}
+
+#: MVF variants: one-pass statistics shave an op from each element's
+#: forward statistics work.
+_EOPS_MVF = {
+    OpKind.BN: (6.0, 10.0),
+    OpKind.BN_STATS: (3.0, 6.0),
+}
+
+
+def node_elementwise_ops(node: Node, graph: LayerGraph) -> Tuple[float, float]:
+    """(forward, backward) elementwise SIMD ops for non-GEMM nodes.
+
+    Counts follow the node's *original* kind even if it has been ghosted by
+    a fusion pass — the simulator uses that to charge the work to the host.
+    """
+    k = node.kind
+    if k in (OpKind.DATA, OpKind.CONV, OpKind.FC):
+        return 0.0, 0.0
+
+    if k == OpKind.CONCAT:
+        out = graph.tensor(node.outputs[0]).num_elements
+        return float(out), float(out)
+
+    if k == OpKind.SPLIT:
+        # Forward is pointer passing; backward sums one gradient per branch.
+        elems = graph.tensor(node.inputs[0]).num_elements
+        return 0.0, float(len(node.outputs) * elems)
+
+    table = _EOPS_MVF if node.attrs.get("mvf") else _EOPS_PER_ELEMENT
+    try:
+        fwd_per, bwd_per = table.get(k) or _EOPS_PER_ELEMENT[k]
+    except KeyError:
+        raise SimulationError(f"no elementwise-op model for kind {k}") from None
+
+    if k == OpKind.EWS:
+        # One add per element per extra operand; backward copies per operand.
+        elems = graph.tensor(node.outputs[0]).num_elements
+        n = len(node.inputs)
+        return float((n - 1) * elems), float(n * elems)
+
+    elems = graph.tensor(node.inputs[0]).num_elements
+    return fwd_per * elems, bwd_per * elems

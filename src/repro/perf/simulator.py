@@ -1,0 +1,128 @@
+"""The iteration simulator: graph + hardware -> per-node roofline costs.
+
+For every node the simulator computes, per direction:
+
+* **compute time** — CONV/FC FMA FLOPs at that kernel's achieved efficiency
+  (backward scaled down), plus elementwise ops at SIMD throughput. Ops from
+  ghosted (fused-away) nodes are charged to their fusion hosts, so fusion
+  moves arithmetic but never deletes it.
+* **memory time** — the node's current sweep ledger priced through the
+  cache model and streamed at effective bandwidth.
+* **node time** — ``max(compute, memory) + invocations x call overhead``.
+
+``infinite_bw_kinds`` reproduces Figure 4's hypothetical machine: sweeps of
+the listed op kinds cost no DRAM time (the paper emulated this by remapping
+BN/ReLU addresses into L1-resident buffers while keeping the arithmetic).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet
+
+from repro.errors import SimulationError
+from repro.graph.graph import LayerGraph
+from repro.graph.node import Node, OpKind
+from repro.hw.cache import CacheModel
+from repro.hw.spec import HardwareSpec
+from repro.perf.flops import node_elementwise_ops, node_flops
+from repro.perf.report import IterationCost, NodeCost, PassCost
+from repro.perf.traffic import node_dram_bytes
+
+
+def simulate(
+    graph: LayerGraph,
+    hw: HardwareSpec,
+    scenario: str = "baseline",
+    infinite_bw_kinds: FrozenSet[OpKind] = frozenset(),
+    include_overhead: bool = True,
+) -> IterationCost:
+    """Price one training iteration of *graph* on *hw*."""
+    cache = CacheModel(hw)
+    batch = _infer_batch(graph)
+
+    # Charge ghosted nodes' elementwise work to their fusion hosts.
+    extra_eops: Dict[str, list] = {}
+    for node in graph.nodes:
+        host = node.attrs.get("fused_into")
+        if not host:
+            continue
+        fwd_e, bwd_e = node_elementwise_ops(node, graph)
+        acc = extra_eops.setdefault(host, [0.0, 0.0])
+        acc[0] += fwd_e
+        acc[1] += bwd_e
+
+    cost = IterationCost(
+        model=graph.name, hardware=hw.name, scenario=scenario, batch=batch
+    )
+    for node in graph.nodes:
+        cost.nodes.append(
+            _price_node(node, graph, hw, cache, extra_eops.get(node.name, (0.0, 0.0)),
+                        infinite_bw_kinds, include_overhead)
+        )
+    return cost
+
+
+def _infer_batch(graph: LayerGraph) -> int:
+    for node in graph.nodes:
+        if node.kind == OpKind.DATA:
+            return graph.tensor(node.outputs[0]).shape[0]
+    raise SimulationError(f"{graph.name}: no DATA node; cannot infer batch size")
+
+
+def _price_node(
+    node: Node,
+    graph: LayerGraph,
+    hw: HardwareSpec,
+    cache: CacheModel,
+    extra_eops,
+    infinite_bw_kinds: FrozenSet[OpKind],
+    include_overhead: bool,
+) -> NodeCost:
+    is_ghost = bool(node.attrs.get("fused_into"))
+
+    fwd_flops, bwd_flops = node_flops(node, graph)
+    fwd_eops, bwd_eops = (0.0, 0.0) if is_ghost else node_elementwise_ops(node, graph)
+    fwd_eops += extra_eops[0]
+    bwd_eops += extra_eops[1]
+
+    fwd_bytes, bwd_bytes = node_dram_bytes(node, graph, cache)
+    if node.kind in infinite_bw_kinds:
+        fwd_bytes = bwd_bytes = 0
+
+    eff_fwd, eff_bwd = _gemm_efficiencies(node, hw)
+    elem_rate = hw.effective_elementwise()
+    bw = hw.effective_bandwidth()
+    overhead = hw.call_overhead_s if include_overhead else 0.0
+
+    fwd = PassCost(
+        flops=fwd_flops,
+        eops=fwd_eops,
+        dram_bytes=fwd_bytes,
+        compute_s=(fwd_flops / eff_fwd if fwd_flops else 0.0) + fwd_eops / elem_rate,
+        mem_s=fwd_bytes / bw,
+        overhead_s=overhead * node.fwd_invocations,
+    )
+    bwd = PassCost(
+        flops=bwd_flops,
+        eops=bwd_eops,
+        dram_bytes=bwd_bytes,
+        compute_s=(bwd_flops / eff_bwd if bwd_flops else 0.0) + bwd_eops / elem_rate,
+        mem_s=bwd_bytes / bw,
+        overhead_s=overhead * node.bwd_invocations,
+    )
+    return NodeCost(
+        name=node.name, kind=node.kind, region=node.region,
+        fwd=fwd, bwd=bwd, is_ghost=is_ghost,
+    )
+
+
+def _gemm_efficiencies(node: Node, hw: HardwareSpec):
+    """(forward, backward) achieved FLOP/s for GEMM-shaped nodes."""
+    if node.kind == OpKind.CONV:
+        eff = hw.conv_efficiency(node.attrs["kernel"])
+    elif node.kind == OpKind.FC:
+        eff = hw.fc_efficiency
+    else:
+        return hw.peak_flops, hw.peak_flops  # unused (flops == 0)
+    fwd = hw.peak_flops * eff
+    return fwd, fwd * hw.bwd_efficiency_scale

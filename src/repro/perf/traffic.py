@@ -1,0 +1,43 @@
+"""DRAM-traffic model: price each ledger sweep through the cache model."""
+
+from __future__ import annotations
+
+from typing import Iterable, Tuple
+
+from repro.graph.graph import LayerGraph
+from repro.graph.node import Node
+from repro.graph.sweeps import Direction, Sweep
+from repro.hw.cache import CacheModel
+
+
+def sweep_dram_bytes(sweep: Sweep, graph: LayerGraph, cache: CacheModel) -> int:
+    """DRAM bytes for one sweep (0 when the tensor is cache-resident).
+
+    Gradient sweeps cost the same as data sweeps — the gradient tensor has
+    the producing tensor's shape and dtype. Write sweeps are scaled by the
+    machine's write-allocate factor (read-for-ownership traffic of ordinary
+    cached stores).
+    """
+    base = cache.dram_bytes(graph.tensor(sweep.tensor))
+    if sweep.direction is Direction.WRITE:
+        return int(base * cache.hw.write_allocate_factor)
+    return base
+
+
+def _total(sweeps: Iterable[Sweep], graph: LayerGraph, cache: CacheModel,
+           factor: float) -> int:
+    return int(sum(sweep_dram_bytes(s, graph, cache) for s in sweeps) * factor)
+
+
+def node_dram_bytes(node: Node, graph: LayerGraph, cache: CacheModel) -> Tuple[int, int]:
+    """(forward, backward) DRAM bytes of a node's current ledger.
+
+    CONV/FC nodes carry the machine's blocked-convolution traffic factor
+    (input re-reads across output-channel tiles); elementwise layers stream
+    each tensor once.
+    """
+    factor = cache.hw.conv_traffic_factor if node.is_conv_like else 1.0
+    return (
+        _total(node.fwd_sweeps, graph, cache, factor),
+        _total(node.bwd_sweeps, graph, cache, factor),
+    )

@@ -1,0 +1,117 @@
+"""Symbolic tensor descriptions used by the graph IR and the simulator.
+
+A :class:`TensorSpec` is the unit of memory-sweep accounting: Figure 5 of the
+paper counts "memory sweeps", each of which reads or writes *all* elements of
+one mini-batch tensor. The spec therefore carries everything the traffic
+model needs — element count, element size, and a *kind* that tells the cache
+model whether the tensor is a mini-batch feature map (too large to cache) or
+a small per-channel / weight tensor (cache-resident).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Tuple
+
+import numpy as np
+
+from repro.config import DEFAULT_DTYPE, dtype_bytes
+from repro.errors import ShapeError
+
+
+class TensorKind(Enum):
+    """Role of a tensor; drives the cache model's DRAM/on-chip decision."""
+
+    #: Mini-batch activations (N, C, H, W) or their gradients: the tensors
+    #: whose sweeps the paper eliminates.
+    FEATURE = "feature"
+    #: Convolution / FC weights and their gradients.
+    WEIGHT = "weight"
+    #: Per-channel vectors: BN statistics, gamma/beta and their gradients.
+    CHANNEL_STAT = "channel_stat"
+    #: Labels / losses / other tiny bookkeeping tensors.
+    SCALAR = "scalar"
+
+
+@dataclass(frozen=True)
+class TensorSpec:
+    """Immutable description of one tensor in a layer graph.
+
+    Parameters
+    ----------
+    name:
+        Unique name within the graph (e.g. ``"cpl3/bn_a.out"``).
+    shape:
+        Tuple of positive ints. Feature maps are NCHW.
+    kind:
+        A :class:`TensorKind`; defaults to ``FEATURE``.
+    dtype:
+        numpy dtype; defaults to fp32 (the paper's training precision).
+    """
+
+    name: str
+    shape: Tuple[int, ...]
+    kind: TensorKind = TensorKind.FEATURE
+    dtype: np.dtype = field(default_factory=lambda: np.dtype(DEFAULT_DTYPE))
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ShapeError("TensorSpec requires a non-empty name")
+        if len(self.shape) == 0:
+            raise ShapeError(f"{self.name}: scalar shapes must be (1,), got ()")
+        if any((not isinstance(d, (int, np.integer))) or d <= 0 for d in self.shape):
+            raise ShapeError(
+                f"{self.name}: shape must be positive ints, got {self.shape!r}"
+            )
+        object.__setattr__(self, "dtype", np.dtype(self.dtype))
+
+    # -- size accounting ---------------------------------------------------
+    @property
+    def num_elements(self) -> int:
+        """Total element count (the per-sweep work unit)."""
+        return int(math.prod(self.shape))
+
+    @property
+    def size_bytes(self) -> int:
+        """Total byte size — the DRAM cost of one full sweep if uncached."""
+        return self.num_elements * dtype_bytes(self.dtype)
+
+    # -- NCHW conveniences ---------------------------------------------------
+    @property
+    def batch(self) -> int:
+        """N for a 4-D NCHW feature tensor."""
+        self._require_nchw()
+        return self.shape[0]
+
+    @property
+    def channels(self) -> int:
+        """C for a 4-D NCHW feature tensor."""
+        self._require_nchw()
+        return self.shape[1]
+
+    @property
+    def spatial(self) -> Tuple[int, int]:
+        """(H, W) for a 4-D NCHW feature tensor."""
+        self._require_nchw()
+        return (self.shape[2], self.shape[3])
+
+    def _require_nchw(self) -> None:
+        if len(self.shape) != 4:
+            raise ShapeError(
+                f"{self.name}: expected 4-D NCHW, got {len(self.shape)}-D "
+                f"{self.shape!r}"
+            )
+
+    def with_name(self, name: str) -> "TensorSpec":
+        """Copy of this spec under a different graph name."""
+        return TensorSpec(name=name, shape=self.shape, kind=self.kind, dtype=self.dtype)
+
+    def grad_spec(self) -> "TensorSpec":
+        """Spec of the gradient tensor (same shape/kind, ``.grad`` suffix)."""
+        return self.with_name(self.name + ".grad")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        dims = "x".join(str(d) for d in self.shape)
+        return f"TensorSpec({self.name}: {dims} {self.dtype.name} [{self.kind.value}])"

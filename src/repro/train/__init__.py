@@ -1,0 +1,27 @@
+"""Functional training: execute (restructured) layer graphs on real data.
+
+:class:`~repro.train.executor.GraphExecutor` interprets a layer graph with
+the numpy substrate — reference nodes run reference layers, fused nodes run
+the fused kernels from :mod:`repro.kernels` — so a baseline graph and its
+BNFF-restructured clone can be trained side by side and compared gradient
+for gradient. That comparison is the functional correctness claim of the
+whole reproduction (DESIGN.md experiment ``func``).
+"""
+
+from repro.train.executor import GraphExecutor
+from repro.train.optimizer import SGD
+from repro.train.data import synthetic_batch, SyntheticClassification
+from repro.train.trainer import Trainer, TrainStep
+from repro.train.gradcheck import gradcheck_executor, GradcheckResult, GradcheckFailure
+
+__all__ = [
+    "GraphExecutor",
+    "SGD",
+    "synthetic_batch",
+    "SyntheticClassification",
+    "Trainer",
+    "TrainStep",
+    "gradcheck_executor",
+    "GradcheckResult",
+    "GradcheckFailure",
+]

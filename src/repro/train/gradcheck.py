@@ -1,0 +1,102 @@
+"""Gradient checking utilities (public API form of the test helpers).
+
+``gradcheck_executor`` compares an executor's analytic gradients against
+central differences on a sampled set of parameter entries — the standard
+sanity tool when extending the substrate with new layers or fusions.
+Runs in float64 to keep the finite-difference noise floor below the
+comparison tolerance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ExecutionError
+from repro.graph.graph import LayerGraph
+from repro.train.executor import GraphExecutor
+
+
+@dataclass(frozen=True)
+class GradcheckFailure:
+    """One mismatching parameter entry."""
+
+    parameter: str
+    index: Tuple[int, ...]
+    analytic: float
+    numeric: float
+
+    @property
+    def abs_error(self) -> float:
+        return abs(self.analytic - self.numeric)
+
+
+@dataclass(frozen=True)
+class GradcheckResult:
+    checked: int
+    failures: List[GradcheckFailure]
+
+    @property
+    def passed(self) -> bool:
+        return not self.failures
+
+
+def gradcheck_executor(
+    graph: LayerGraph,
+    images: np.ndarray,
+    labels: np.ndarray,
+    seed: int = 0,
+    samples_per_param: int = 3,
+    eps: float = 1e-5,
+    rtol: float = 5e-3,
+    atol: float = 1e-8,
+    max_params: Optional[int] = None,
+) -> GradcheckResult:
+    """Check analytic parameter gradients of *graph* on one batch.
+
+    Builds a float64 executor, runs one forward/backward for the analytic
+    gradients, then probes ``samples_per_param`` entries of each parameter
+    (up to ``max_params`` parameters) with central differences.
+
+    The default ``rtol`` is deliberately loose (5e-3): CNN losses are only
+    piecewise differentiable, and a perturbation of a BN ``gamma`` shifts
+    *every* element of its channel, so a few activations near the ReLU
+    boundary flip sides and contaminate the central difference with kink
+    error. That noise floor is well below the factor-of-two/sign errors
+    gradcheck exists to catch.
+    """
+    ex = GraphExecutor(graph, seed=seed, dtype=np.float64)
+    ex.zero_grad()
+    ex.forward(images, labels)
+    ex.backward()
+
+    analytic = {
+        name: (p, p.grad.copy())
+        for name, p in ex.named_parameters()
+        if p.grad is not None
+    }
+    if not analytic:
+        raise ExecutionError("no gradients produced; is the graph trainable?")
+
+    rng = np.random.default_rng(seed)
+    failures: List[GradcheckFailure] = []
+    checked = 0
+    for name, (param, grad) in list(analytic.items())[:max_params]:
+        for _ in range(samples_per_param):
+            idx = tuple(int(rng.integers(0, s)) for s in param.data.shape)
+            old = param.data[idx]
+            param.data[idx] = old + eps
+            up = ex.forward(images, labels)
+            param.data[idx] = old - eps
+            down = ex.forward(images, labels)
+            param.data[idx] = old
+            numeric = (up - down) / (2 * eps)
+            checked += 1
+            if not np.isclose(grad[idx], numeric, rtol=rtol, atol=atol):
+                failures.append(GradcheckFailure(
+                    parameter=name, index=idx,
+                    analytic=float(grad[idx]), numeric=float(numeric),
+                ))
+    return GradcheckResult(checked=checked, failures=failures)

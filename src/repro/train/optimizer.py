@@ -1,0 +1,51 @@
+"""SGD with momentum and weight decay — the optimizer of the paper's era."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List
+
+import numpy as np
+
+from repro.errors import ExecutionError
+from repro.nn.module import Parameter
+
+
+class SGD:
+    """Classic momentum SGD: ``v = mu*v + g + wd*w``, ``w -= lr*v``.
+
+    Momentum buffers are keyed by parameter identity, so the optimizer can
+    be constructed once and reused across steps.
+    """
+
+    def __init__(self, params: Iterable[Parameter], lr: float = 0.1,
+                 momentum: float = 0.9, weight_decay: float = 0.0):
+        if lr <= 0:
+            raise ExecutionError(f"lr must be positive, got {lr}")
+        if not (0.0 <= momentum < 1.0):
+            raise ExecutionError(f"momentum must be in [0, 1), got {momentum}")
+        self.params: List[Parameter] = list(params)
+        if not self.params:
+            raise ExecutionError("SGD received no parameters")
+        self.lr = lr
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self._velocity: Dict[int, np.ndarray] = {}
+
+    def step(self) -> None:
+        """Apply one update from the accumulated gradients."""
+        for p in self.params:
+            if p.grad is None:
+                continue  # parameter untouched this iteration
+            g = p.grad
+            if self.weight_decay:
+                g = g + self.weight_decay * p.data
+            if self.momentum:
+                v = self._velocity.get(id(p))
+                v = g.copy() if v is None else self.momentum * v + g
+                self._velocity[id(p)] = v
+                g = v
+            p.data -= self.lr * g
+
+    def zero_grad(self) -> None:
+        for p in self.params:
+            p.zero_grad()

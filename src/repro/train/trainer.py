@@ -1,0 +1,78 @@
+"""Training loop over a GraphExecutor."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.train.data import SyntheticClassification
+from repro.train.executor import GraphExecutor
+from repro.train.optimizer import SGD
+
+
+@dataclass(frozen=True)
+class TrainStep:
+    """Record of one optimization step."""
+
+    step: int
+    loss: float
+    grad_norm: float
+
+
+class Trainer:
+    """Mini-batch SGD training of a layer graph on synthetic data.
+
+    Used by integration tests and examples to show that reference and
+    BNFF-restructured executions of the *same* model follow identical
+    training trajectories (same losses, same parameters, step for step).
+    """
+
+    def __init__(
+        self,
+        executor: GraphExecutor,
+        dataset: SyntheticClassification,
+        lr: float = 0.05,
+        momentum: float = 0.9,
+        weight_decay: float = 0.0,
+    ):
+        self.executor = executor
+        self.dataset = dataset
+        self.optimizer = SGD(
+            executor.parameters(), lr=lr, momentum=momentum,
+            weight_decay=weight_decay,
+        )
+        self.history: List[TrainStep] = []
+
+    def step(self, batch_size: int, seed: int) -> TrainStep:
+        """One forward/backward/update on a seeded batch."""
+        images, labels = self.dataset.batch(batch_size, seed=seed)
+        self.executor.zero_grad()
+        loss = self.executor.forward(images, labels)
+        self.executor.backward()
+        grad_norm = float(
+            np.sqrt(
+                sum(
+                    float((p.grad ** 2).sum())
+                    for p in self.executor.parameters()
+                    if p.grad is not None
+                )
+            )
+        )
+        self.optimizer.step()
+        record = TrainStep(step=len(self.history), loss=loss, grad_norm=grad_norm)
+        self.history.append(record)
+        return record
+
+    def run(self, steps: int, batch_size: int = 8,
+            seed_offset: int = 0) -> List[TrainStep]:
+        """Run *steps* deterministic optimization steps."""
+        return [self.step(batch_size, seed=seed_offset + i) for i in range(steps)]
+
+    @property
+    def losses(self) -> List[float]:
+        return [s.loss for s in self.history]
+
+    def final_loss(self) -> Optional[float]:
+        return self.history[-1].loss if self.history else None

@@ -1,0 +1,122 @@
+"""Ledger audits and model-structure summaries."""
+
+import pytest
+
+from repro.analysis import (
+    chain_audit,
+    fusion_inventory,
+    model_summary,
+    render_chain_audit,
+    render_model_summary,
+    sweep_summary,
+    total_parameters,
+)
+from repro.analysis.ledger import chain_nodes
+from repro.errors import GraphError
+from repro.graph.node import OpKind
+from repro.models import build_model
+from repro.passes import apply_scenario
+
+
+class TestChainAudit:
+    def test_baseline_chain_contains_bn_sweeps(self):
+        g = build_model("tiny_cnn", batch=4)
+        rows = chain_audit(g, "body/bn1")
+        tags = {r.tag for r in rows}
+        assert {"read_x_mean", "read_x_var", "read_x_normalize"} <= tags
+
+    def test_restructured_chain_has_no_standalone_bn_work(self):
+        g, _ = apply_scenario(build_model("tiny_cnn", batch=4), "bnff")
+        rows = chain_audit(g, "body/bn1")
+        hosts = {r.host for r in rows}
+        assert hosts == {"body/conv1", "body/conv2"}
+
+    def test_origin_attribution_preserved(self):
+        """Fused sweeps still carry the originating sub-layer's name."""
+        g, _ = apply_scenario(build_model("tiny_cnn", batch=4), "bnff")
+        rows = chain_audit(g, "body/bn1")
+        origins = {r.origin for r in rows if "xbn" in r.tag}
+        assert any("bn1" in o for o in origins)
+
+    def test_unknown_bn_raises(self):
+        with pytest.raises(GraphError):
+            chain_audit(build_model("tiny_cnn", batch=4), "nope")
+
+    def test_chain_nodes_include_hosts(self):
+        g, _ = apply_scenario(build_model("tiny_cnn", batch=4), "bnff")
+        names = [n.name for n in chain_nodes(g, "body/bn1")]
+        assert "body/conv1" in names and "body/conv2" in names
+
+    def test_render_is_nonempty_text(self):
+        g = build_model("tiny_cnn", batch=4)
+        out = render_chain_audit(g, "body/bn1")
+        assert "read_x_mean" in out
+
+
+class TestSweepSummary:
+    def test_totals_match_graph_count(self):
+        g = build_model("tiny_densenet", batch=4)
+        summary = sweep_summary(g)
+        total = sum(f + b for f, b in summary.values())
+        assert total == g.sweep_count()
+
+    def test_bn_disappears_under_bnff_icf(self):
+        """All CPL BN work is fused; only the stem/head normalize halves
+        (whose ReLUs feed pools, not convs) keep sweeps — the paper's
+        'all BN layers within DenseNet's CPLs' claim, exactly."""
+        g, _ = apply_scenario(build_model("tiny_densenet", batch=4), "bnff_icf")
+        summary = sweep_summary(g)
+        assert summary.get(OpKind.BN_STATS, (0, 0)) == (0, 0)
+        alive_norms = [n.name for n in g.nodes_of_kind(OpKind.BN_NORM)
+                       if not n.attrs.get("fused_into")]
+        assert sorted(alive_norms) == ["head/bn_final.norm", "stem/bn0.norm"]
+
+
+class TestFusionInventory:
+    def test_empty_on_baseline(self):
+        assert fusion_inventory(build_model("tiny_cnn", batch=4)) == []
+
+    def test_every_ghost_listed(self):
+        g, _ = apply_scenario(build_model("tiny_densenet", batch=4), "bnff_icf")
+        inv = fusion_inventory(g)
+        ghosts = [n for n in g.nodes if n.attrs.get("fused_into")]
+        assert len(inv) == len(ghosts)
+        kinds = {r.host_kind for r in inv}
+        assert OpKind.CONV in kinds and OpKind.SPLIT in kinds
+
+
+class TestModelSummary:
+    def test_published_parameter_counts(self):
+        """Exact parameter counts validate the model builders end to end."""
+        expectations = {
+            "densenet121": (7.9e6, 8.1e6),
+            "resnet50": (25.4e6, 25.7e6),
+            "mobilenet_v1": (4.1e6, 4.3e6),
+        }
+        for model, (lo, hi) in expectations.items():
+            params = total_parameters(build_model(model, batch=2))
+            assert lo < params < hi, (model, params)
+
+    def test_region_order_is_execution_order(self):
+        g = build_model("tiny_densenet", batch=4)
+        regions = [s.region for s in model_summary(g)]
+        assert regions[0] == "stem"
+        assert regions[-1] == "head"
+
+    def test_output_shapes_tracked(self):
+        g = build_model("tiny_cnn", batch=4)
+        by_region = {s.region: s for s in model_summary(g)}
+        assert by_region["body"].output_shape == (4, 16, 8, 8)
+
+    def test_render_elides_long_models(self):
+        g = build_model("densenet121", batch=2)
+        out = render_model_summary(g, max_rows=10)
+        assert "elided" in out
+
+    def test_summary_counts_restructured_bns(self):
+        """Fissioned BNs still count as BN work in the structure view."""
+        g = build_model("tiny_cnn", batch=4)
+        gg, _ = apply_scenario(g, "bnff")
+        base = sum(s.bns for s in model_summary(g))
+        fused = sum(s.bns for s in model_summary(gg))
+        assert fused == 2 * base  # stats + norm per original BN

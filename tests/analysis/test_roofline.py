@@ -1,0 +1,60 @@
+"""Roofline analysis: the Section 3.1 argument as numbers."""
+
+import pytest
+
+from repro.analysis.roofline import mean_intensity, ridge_point, roofline_points
+from repro.graph.node import OpKind
+from repro.hw import SKYLAKE_2S
+from repro.models import build_model
+from repro.perf import simulate
+
+
+@pytest.fixture(scope="module")
+def points():
+    g = build_model("densenet121", batch=120)
+    return roofline_points(simulate(g, SKYLAKE_2S))
+
+
+class TestRoofline:
+    def test_non_conv_layers_left_of_ridge(self, points):
+        """BN/ReLU sit far below the machine's ridge intensity: the paper's
+        'no amount of FLOPS helps' argument."""
+        ridge = ridge_point(SKYLAKE_2S)
+        bn_relu = [p for p in points
+                   if p.kind in (OpKind.BN, OpKind.RELU)
+                   and p.intensity_flop_per_byte != float("inf")]
+        # (late 7x7 layers fit in the LLC at batch 120 and report infinite
+        # intensity — correctly excluded from the DRAM-bound population)
+        assert bn_relu
+        for p in bn_relu:
+            assert p.intensity_flop_per_byte < ridge / 10
+
+    def test_conv_intensity_exceeds_non_conv(self, points):
+        conv_i = mean_intensity(points, conv_like=True)
+        non_conv_i = mean_intensity(points, conv_like=False)
+        assert conv_i > 10 * non_conv_i > 0
+
+    def test_achieved_throughput_bounded_by_peak(self, points):
+        for p in points:
+            # Elementwise ops are bounded by the SIMD rate, convs by FMA
+            # peak; neither can exceed the FMA peak.
+            assert p.achieved_ops_per_s <= SKYLAKE_2S.peak_flops * 1.01
+
+    def test_cache_resident_nodes_have_infinite_intensity(self):
+        g = build_model("tiny_cnn", batch=2)  # everything fits in LLC
+        pts = roofline_points(simulate(g, SKYLAKE_2S))
+        assert all(p.intensity_flop_per_byte == float("inf") for p in pts)
+
+    def test_ridge_point_is_machine_balance(self):
+        assert ridge_point(SKYLAKE_2S) == pytest.approx(
+            SKYLAKE_2S.peak_flops / SKYLAKE_2S.effective_bandwidth()
+        )
+
+    def test_ghosts_excluded(self):
+        from repro.passes import apply_scenario
+
+        g, _ = apply_scenario(build_model("densenet121", batch=120), "bnff")
+        pts = roofline_points(simulate(g, SKYLAKE_2S, "bnff"))
+        names = {p.node for p in pts}
+        # Ghosted ReLUs must not appear (zero time).
+        assert not any(name.endswith("relu_b") for name in names)

@@ -1,0 +1,50 @@
+"""Render smoke tests: every experiment's artifact is well-formed text."""
+
+import pytest
+
+from repro.experiments import EXPERIMENTS
+
+
+@pytest.fixture(scope="module")
+def rendered():
+    """Run and render every experiment once (shared across assertions)."""
+    return {eid: m.render(m.run()) for eid, m in EXPERIMENTS.items()}
+
+
+class TestRenders:
+    def test_every_artifact_nonempty(self, rendered):
+        for eid, text in rendered.items():
+            assert isinstance(text, str) and len(text) > 50, eid
+
+    def test_fig1_lists_all_models(self, rendered):
+        for model in ("alexnet", "vgg16", "resnet50", "densenet121"):
+            assert model in rendered["fig1"]
+
+    def test_fig3_reports_bandwidth_ceilings(self, rendered):
+        assert "max non-CONV bandwidth" in rendered["fig3"]
+        assert "GB/s" in rendered["fig3"]
+
+    def test_fig4_reports_speedup(self, rendered):
+        assert "speedup" in rendered["fig4"]
+        assert "paper" in rendered["fig4"]
+
+    def test_fig6_lists_architectures(self, rendered):
+        for hw in ("pascal_titan_x", "knights_landing", "skylake_2s"):
+            assert hw in rendered["fig6"]
+
+    def test_fig7_lists_scenarios_for_both_models(self, rendered):
+        for token in ("densenet121", "resnet50", "bnff_icf", "rcf_mvf"):
+            assert token in rendered["fig7"]
+
+    def test_fig8_shows_both_bandwidths(self, rendered):
+        assert "230.4" in rendered["fig8"]
+        assert "115.2" in rendered["fig8"]
+
+    def test_gpu_shows_cutlass_comparison(self, rendered):
+        assert "CUTLASS" in rendered["gpu"]
+
+    def test_extension_labelled(self, rendered):
+        assert "Extension" in rendered["ext_mobilenet"]
+
+    def test_paper_anchors_present_in_tables(self, rendered):
+        assert "3.34" in rendered["tab1"]

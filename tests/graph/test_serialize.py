@@ -1,0 +1,91 @@
+"""Graph JSON serialization: lossless round-trips, versioning, files."""
+
+import json
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph import graph_from_dict, graph_to_dict, load_graph, save_graph
+from repro.models import build_model
+from repro.passes import apply_scenario
+
+
+def assert_graphs_equal(a, b):
+    assert a.name == b.name
+    assert set(a.tensors) == set(b.tensors)
+    for name, spec in a.tensors.items():
+        other = b.tensor(name)
+        assert spec.shape == other.shape
+        assert spec.kind == other.kind
+        assert spec.dtype == other.dtype
+    assert [n.name for n in a.nodes] == [n.name for n in b.nodes]
+    for na, nb in zip(a.nodes, b.nodes):
+        assert na.kind == nb.kind
+        assert na.inputs == nb.inputs
+        assert na.outputs == nb.outputs
+        assert na.attrs == nb.attrs
+        assert na.fwd_sweeps == nb.fwd_sweeps
+        assert na.bwd_sweeps == nb.bwd_sweeps
+        assert na.fwd_invocations == nb.fwd_invocations
+        assert na.fused_from == nb.fused_from
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("model", ["tiny_cnn", "tiny_densenet", "tiny_resnet"])
+    def test_baseline_roundtrip(self, model):
+        g = build_model(model, batch=4)
+        assert_graphs_equal(g, graph_from_dict(graph_to_dict(g)))
+
+    @pytest.mark.parametrize("scenario", ["rcf", "bnff", "bnff_icf"])
+    def test_restructured_roundtrip(self, scenario):
+        g, _ = apply_scenario(build_model("tiny_densenet", batch=4), scenario)
+        assert_graphs_equal(g, graph_from_dict(graph_to_dict(g)))
+
+    def test_json_serializable(self):
+        g = build_model("tiny_cnn", batch=4)
+        text = json.dumps(graph_to_dict(g))
+        assert_graphs_equal(g, graph_from_dict(json.loads(text)))
+
+    def test_file_roundtrip(self, tmp_path):
+        g, _ = apply_scenario(build_model("tiny_cnn", batch=4), "bnff")
+        path = tmp_path / "graph.json"
+        save_graph(g, str(path))
+        assert_graphs_equal(g, load_graph(str(path)))
+
+    def test_loaded_graph_simulates_identically(self):
+        from repro.hw import SKYLAKE_2S
+        from repro.perf import simulate
+
+        g = build_model("densenet121", batch=16)
+        g2 = graph_from_dict(graph_to_dict(g))
+        assert (simulate(g, SKYLAKE_2S).total_time_s
+                == simulate(g2, SKYLAKE_2S).total_time_s)
+
+    def test_loaded_graph_executes_identically(self):
+        import numpy as np
+
+        from repro.train import GraphExecutor, synthetic_batch
+
+        g, _ = apply_scenario(build_model("tiny_cnn", batch=4), "bnff")
+        g2 = graph_from_dict(graph_to_dict(g))
+        x, y = synthetic_batch(4, (3, 16, 16), 10, seed=0)
+        l1 = GraphExecutor(g, seed=1).forward(x, y)
+        l2 = GraphExecutor(g2, seed=1).forward(x, y)
+        assert l1 == l2
+
+
+class TestVersioning:
+    def test_unknown_schema_rejected(self):
+        g = build_model("tiny_cnn", batch=4)
+        data = graph_to_dict(g)
+        data["schema"] = 99
+        with pytest.raises(GraphError):
+            graph_from_dict(data)
+
+    def test_invalid_graph_rejected_on_load(self):
+        g = build_model("tiny_cnn", batch=4)
+        data = graph_to_dict(g)
+        # Corrupt: node referencing a missing tensor.
+        data["nodes"][1]["inputs"] = ["missing_tensor"]
+        with pytest.raises(GraphError):
+            graph_from_dict(data)

@@ -1,0 +1,144 @@
+"""Hardware specs, presets (Table 1 anchors) and the cache model."""
+
+import dataclasses
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import HardwareSpecError
+from repro.hw import (
+    CacheModel,
+    KNIGHTS_LANDING,
+    PASCAL_TITAN_X,
+    PASCAL_TITAN_X_CUTLASS,
+    SKYLAKE_2S,
+    SKYLAKE_2S_HALF_BW,
+    TABLE1_ARCHITECTURES,
+    get_preset,
+)
+from repro.hw.spec import HardwareSpec
+from repro.tensors import TensorKind, TensorSpec
+
+
+class TestSpecValidation:
+    def base(self, **over):
+        kw = dict(name="t", peak_flops=1e12, elementwise_ops=5e11,
+                  dram_bandwidth=1e11, llc_bytes=1 << 20)
+        kw.update(over)
+        return HardwareSpec(**kw)
+
+    def test_valid_spec(self):
+        assert self.base().flop_per_byte == pytest.approx(10.0)
+
+    def test_nonpositive_flops_rejected(self):
+        with pytest.raises(HardwareSpecError):
+            self.base(peak_flops=0)
+
+    def test_bad_efficiency_rejected(self):
+        with pytest.raises(HardwareSpecError):
+            self.base(stream_efficiency=1.5)
+
+    def test_bad_write_allocate_rejected(self):
+        with pytest.raises(HardwareSpecError):
+            self.base(write_allocate_factor=3.0)
+
+    def test_bad_conv_factor_rejected(self):
+        with pytest.raises(HardwareSpecError):
+            self.base(conv_traffic_factor=0.5)
+
+    def test_conv_efficiency_nearest_kernel_fallback(self):
+        hw = self.base()
+        assert hw.conv_efficiency(9) == hw.conv_efficiency_by_kernel[11]
+
+    def test_with_bandwidth_variant(self):
+        hw = self.base().with_bandwidth(5e10)
+        assert hw.dram_bandwidth == 5e10
+        assert hw.name != "t"
+
+    def test_with_infinite_bandwidth(self):
+        hw = self.base().with_infinite_bandwidth()
+        assert math.isinf(hw.dram_bandwidth)
+
+    def test_conv_efficiency_scale(self):
+        hw = self.base().with_conv_efficiency_scale(0.5, "_slow")
+        for k in hw.conv_efficiency_by_kernel:
+            assert hw.conv_efficiency(k) == pytest.approx(
+                self.base().conv_efficiency(k) * 0.5
+            )
+
+
+class TestTable1Anchors:
+    """The frozen presets must carry exactly the paper's Table 1 numbers."""
+
+    def test_skylake(self):
+        assert SKYLAKE_2S.peak_flops == pytest.approx(3.34e12)
+        assert SKYLAKE_2S.dram_bandwidth == pytest.approx(230.4e9)
+
+    def test_knl(self):
+        assert KNIGHTS_LANDING.peak_flops == pytest.approx(5.30e12)
+        assert KNIGHTS_LANDING.dram_bandwidth == pytest.approx(400.0e9)
+
+    def test_titan_x(self):
+        assert PASCAL_TITAN_X.peak_flops == pytest.approx(10.0e12)
+        assert PASCAL_TITAN_X.dram_bandwidth == pytest.approx(480.0e9)
+
+    def test_half_bandwidth_variant(self):
+        assert SKYLAKE_2S_HALF_BW.dram_bandwidth == pytest.approx(115.2e9)
+
+    def test_table1_order(self):
+        assert [hw.name for hw in TABLE1_ARCHITECTURES] == [
+            "skylake_2s", "knights_landing", "pascal_titan_x",
+        ]
+
+    def test_cutlass_slower_than_cudnn(self):
+        for k in PASCAL_TITAN_X.conv_efficiency_by_kernel:
+            assert (PASCAL_TITAN_X_CUTLASS.conv_efficiency(k)
+                    < PASCAL_TITAN_X.conv_efficiency(k))
+
+    def test_preset_lookup(self):
+        assert get_preset("skylake_2s") is SKYLAKE_2S
+        with pytest.raises(HardwareSpecError):
+            get_preset("cray1")
+
+    def test_machine_balance_motivates_the_paper(self):
+        """Section 3.1: compute outpaces bandwidth on every machine —
+        tens of FLOPs per byte."""
+        for hw in TABLE1_ARCHITECTURES:
+            assert hw.flop_per_byte > 10.0
+
+
+class TestCacheModel:
+    def test_paper_scale_features_not_resident(self):
+        cache = CacheModel(SKYLAKE_2S)
+        t = TensorSpec("x", (120, 256, 56, 56))
+        assert not cache.is_resident(t)
+        assert cache.dram_bytes(t) == t.size_bytes
+
+    def test_channel_stats_always_resident(self):
+        cache = CacheModel(SKYLAKE_2S)
+        t = TensorSpec("s", (2, 4096), kind=TensorKind.CHANNEL_STAT)
+        assert cache.is_resident(t)
+        assert cache.dram_bytes(t) == 0
+
+    def test_small_weights_resident(self):
+        cache = CacheModel(SKYLAKE_2S)
+        t = TensorSpec("w", (128, 576, 1, 1), kind=TensorKind.WEIGHT)
+        assert cache.is_resident(t)
+
+    def test_huge_fc_weights_not_resident(self):
+        cache = CacheModel(SKYLAKE_2S)
+        t = TensorSpec("w", (4096, 9216), kind=TensorKind.WEIGHT)
+        assert not cache.is_resident(t)
+
+    def test_tiny_features_resident(self):
+        """Toy-scale feature maps fit — simulated traffic degenerates to 0,
+        the documented behaviour for functional-scale graphs."""
+        cache = CacheModel(SKYLAKE_2S)
+        assert cache.is_resident(TensorSpec("x", (2, 8, 16, 16)))
+
+    def test_fit_fraction_respected(self):
+        small = dataclasses.replace(SKYLAKE_2S, cache_fit_fraction=0.01)
+        t = TensorSpec("x", (1, 64, 64, 64))  # 1 MB
+        assert CacheModel(SKYLAKE_2S).is_resident(t)
+        assert not CacheModel(small).is_resident(t)

@@ -1,0 +1,175 @@
+"""Integration: the simulated headline numbers against the paper's.
+
+Bands are deliberately generous where the paper's quantity depends on
+hardware details outside the sweep model (performance-counter traffic,
+estimated-not-measured bars) and tight where our model should nail the
+value (Table 1 anchors, orderings, sign and rough size of every effect).
+EXPERIMENTS.md records the exact measured-vs-paper numbers.
+"""
+
+import pytest
+
+from repro.experiments import figure1, figure4, figure6, figure7, figure8, gpu_results
+
+
+@pytest.fixture(scope="module")
+def fig7():
+    return figure7.run()
+
+
+class TestFigure1:
+    def test_early_models_conv_dominated(self):
+        r = figure1.run()
+        assert r.non_conv_share("alexnet") < 0.15
+        assert r.non_conv_share("vgg16") < 0.20
+
+    def test_densenet_non_conv_majority(self):
+        r = figure1.run()
+        assert r.non_conv_share("densenet121") > 0.50
+
+    def test_monotone_trend_old_to_new(self):
+        r = figure1.run()
+        shares = [r.non_conv_share(m) for m in figure1.MODELS]
+        assert shares == sorted(shares)
+
+
+class TestFigure4:
+    def test_speedup_near_20x(self):
+        r = figure4.run()
+        assert 12.0 < r.speedup < 30.0  # paper: ~20x
+
+
+class TestFigure6:
+    def test_non_conv_at_least_half_everywhere(self):
+        r = figure6.run()
+        for b in r.breakdowns:
+            assert b.non_conv_share >= 0.45
+
+    def test_per_image_times_similar(self):
+        r = figure6.run()
+        assert r.per_image_ratio() < figure6.PAPER["per_image_similar_within"]
+
+    def test_skylake_highest_non_conv_share(self):
+        r = figure6.run()
+        by_hw = {b.hardware: b.non_conv_share for b in r.breakdowns}
+        assert by_hw["skylake_2s"] == max(by_hw.values())
+
+
+class TestFigure7DenseNet:
+    """Headline numbers, calibrated once then frozen (bands ±6pp)."""
+
+    def test_baseline_non_conv_share(self, fig7):
+        share = fig7.of("densenet121", "baseline").cost.non_conv_share()
+        assert share == pytest.approx(0.589, abs=0.06)
+
+    def test_bnff_total_gain(self, fig7):
+        assert fig7.of("densenet121", "bnff").total_gain == pytest.approx(
+            0.257, abs=0.06
+        )
+
+    def test_bnff_fwd_gain(self, fig7):
+        assert fig7.of("densenet121", "bnff").fwd_gain == pytest.approx(
+            0.479, abs=0.08
+        )
+
+    def test_bnff_bwd_gain(self, fig7):
+        assert fig7.of("densenet121", "bnff").bwd_gain == pytest.approx(
+            0.154, abs=0.05
+        )
+
+    def test_scenario_ordering(self, fig7):
+        gains = [fig7.of("densenet121", s).total_gain
+                 for s in ("rcf", "rcf_mvf", "bnff", "bnff_icf")]
+        assert gains == sorted(gains)
+
+    def test_rcf_gain_band(self, fig7):
+        assert fig7.of("densenet121", "rcf").total_gain == pytest.approx(
+            0.092, abs=0.05
+        )
+
+    def test_mvf_adds_forward_only(self, fig7):
+        rcf = fig7.of("densenet121", "rcf")
+        mvf = fig7.of("densenet121", "rcf_mvf")
+        assert mvf.fwd_gain > rcf.fwd_gain
+        assert mvf.bwd_gain == pytest.approx(rcf.bwd_gain, abs=1e-6)
+
+    def test_relu_access_share(self, fig7):
+        assert fig7.relu_access_share("densenet121") == pytest.approx(
+            0.168, abs=0.05
+        )
+
+    def test_memory_access_reduction_positive(self, fig7):
+        """Paper reports 19.1% from hardware counters; the pure sweep model
+        gives more (counters include conv-internal traffic the passes never
+        touch) — assert the sign and that it exceeds the paper's floor."""
+        red = fig7.of("densenet121", "bnff").dram_reduction
+        assert red > 0.19
+
+    def test_icf_exceeds_bnff(self, fig7):
+        assert (fig7.of("densenet121", "bnff_icf").total_gain
+                > fig7.of("densenet121", "bnff").total_gain + 0.03)
+
+    def test_paper_style_icf_extrapolation_band(self, fig7):
+        """Reproducing the paper's estimation methodology should land near
+        its 43.7% estimate."""
+        assert fig7.icf_paper_style["densenet121"] == pytest.approx(
+            0.437, abs=0.12
+        )
+
+
+class TestFigure7ResNet:
+    def test_bnff_total_gain(self, fig7):
+        assert fig7.of("resnet50", "bnff").total_gain == pytest.approx(
+            0.161, abs=0.05
+        )
+
+    def test_bnff_fwd_bwd_split(self, fig7):
+        r = fig7.of("resnet50", "bnff")
+        assert r.fwd_gain == pytest.approx(0.308, abs=0.08)
+        assert r.bwd_gain == pytest.approx(0.090, abs=0.04)
+
+    def test_densenet_gains_more_than_resnet(self, fig7):
+        assert (fig7.of("densenet121", "bnff").total_gain
+                > fig7.of("resnet50", "bnff").total_gain)
+
+
+class TestFigure8:
+    def test_gain_grows_at_half_bandwidth(self):
+        r = figure8.run()
+        full, half = r.at(230.4), r.at(115.2)
+        assert half.bnff_gain > full.bnff_gain
+        assert half.bnff_gain == pytest.approx(0.301, abs=0.06)
+
+    def test_non_conv_share_grows_at_half_bandwidth(self):
+        r = figure8.run()
+        full, half = r.at(230.4), r.at(115.2)
+        assert half.baseline_non_conv_share > full.baseline_non_conv_share
+        assert half.baseline_non_conv_share == pytest.approx(0.63, abs=0.06)
+
+
+class TestGpuResults:
+    @pytest.fixture(scope="class")
+    def gpu(self):
+        return gpu_results.run()
+
+    def test_scenario_ordering_per_model(self, gpu):
+        for model in ("densenet121", "resnet50"):
+            gains = [gpu.gain(model, s) for s in ("rcf", "rcf_mvf", "bnff")]
+            assert gains == sorted(gains)
+
+    def test_densenet_beats_resnet(self, gpu):
+        assert gpu.gain("densenet121", "bnff") > gpu.gain("resnet50", "bnff")
+
+    def test_bnff_band(self, gpu):
+        """Paper: 17.5% / 7.8%; wide band (the CUTLASS baseline efficiency
+        is the weakest-known constant in the model)."""
+        assert gpu.gain("densenet121", "bnff") == pytest.approx(0.175, abs=0.08)
+        assert gpu.gain("resnet50", "bnff") == pytest.approx(0.078, abs=0.05)
+
+    def test_cutlass_meaningfully_slower_than_cudnn(self, gpu):
+        """Paper: 3.6x overall. Our model scales only the conv kernels by
+        3.6x, and at batch 16 about half the cuDNN-baseline time is
+        non-CONV, so total slowdown lands near 3.6 - 2.6*nonconv_share —
+        ~2.2x. The conv-kernel gap itself is exactly 3.6x by construction;
+        EXPERIMENTS.md discusses the divergence."""
+        assert 1.8 < gpu.cutlass_slowdown["densenet121"] < 3.6

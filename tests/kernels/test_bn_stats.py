@@ -1,0 +1,72 @@
+"""Statistics kernels: one-pass (MVF) vs two-pass equivalence & precision."""
+
+import numpy as np
+import pytest
+
+from repro.config import rng
+from repro.errors import ShapeError
+from repro.kernels import chunked_onepass_stats, onepass_stats, twopass_stats
+from repro.kernels.bn_stats import onepass_stats_fp32
+
+
+class TestEquivalence:
+    def test_onepass_matches_twopass(self):
+        x = rng(0).normal(loc=2.0, scale=3.0, size=(16, 8, 14, 14)).astype(np.float32)
+        m1, v1 = onepass_stats(x)
+        m2, v2 = twopass_stats(x)
+        np.testing.assert_allclose(m1, m2, rtol=1e-6)
+        np.testing.assert_allclose(v1, v2, rtol=1e-4)
+
+    def test_chunked_matches_onepass(self):
+        x = rng(1).normal(size=(13, 4, 7, 7)).astype(np.float32)
+        m1, v1 = onepass_stats(x)
+        m2, v2 = chunked_onepass_stats(x, chunk=4)
+        np.testing.assert_allclose(m1, m2, rtol=1e-6)
+        np.testing.assert_allclose(v1, v2, rtol=1e-5)
+
+    def test_against_numpy_reference(self):
+        x = rng(2).normal(size=(8, 3, 5, 5)).astype(np.float32)
+        m, v = onepass_stats(x)
+        np.testing.assert_allclose(m, x.mean(axis=(0, 2, 3)), rtol=1e-6)
+        np.testing.assert_allclose(v, x.var(axis=(0, 2, 3)), rtol=1e-4)
+
+
+class TestPrecision:
+    """Quantify the paper's Section 3.2 claim: fp32 E(X^2) is good enough."""
+
+    def test_fp32_accumulation_on_activations(self):
+        # Post-conv activations at paper scale: zero-ish mean, unit-ish std.
+        x = rng(3).normal(loc=0.5, scale=1.5, size=(32, 16, 28, 28)).astype(np.float32)
+        m64, v64 = twopass_stats(x.astype(np.float64))
+        m32, v32 = onepass_stats_fp32(x)
+        np.testing.assert_allclose(m32, m64, rtol=1e-4)
+        np.testing.assert_allclose(v32, v64, rtol=1e-2)
+
+    def test_catastrophic_cancellation_clamped(self):
+        # Large mean, tiny variance: worst case for E(X^2)-E(X)^2 in fp32.
+        # The kernel must never return negative variance.
+        x = np.full((8, 2, 16, 16), 1000.0, dtype=np.float32)
+        x += rng(4).normal(scale=1e-3, size=x.shape).astype(np.float32)
+        _, v = onepass_stats_fp32(x)
+        assert np.all(v >= 0.0)
+
+    def test_constant_channel_zero_variance(self):
+        x = np.full((4, 3, 8, 8), 7.0, dtype=np.float32)
+        m, v = onepass_stats(x)
+        np.testing.assert_allclose(m, 7.0, rtol=1e-7)
+        np.testing.assert_allclose(v, 0.0, atol=1e-7)
+
+
+class TestValidation:
+    def test_non_nchw_raises(self):
+        with pytest.raises(ShapeError):
+            onepass_stats(np.zeros((4, 4), dtype=np.float32))
+
+    def test_bad_chunk_raises(self):
+        with pytest.raises(ShapeError):
+            chunked_onepass_stats(np.zeros((2, 2, 2, 2), dtype=np.float32), chunk=0)
+
+    def test_dtype_preserved(self):
+        x = rng(5).normal(size=(2, 2, 3, 3)).astype(np.float32)
+        m, v = onepass_stats(x)
+        assert m.dtype == np.float32 and v.dtype == np.float32

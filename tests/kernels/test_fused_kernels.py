@@ -1,0 +1,171 @@
+"""Fused kernels vs reference layer chains — the core correctness claim."""
+
+import numpy as np
+import pytest
+
+from repro.config import rng
+from repro.errors import ExecutionError
+from repro.kernels import (
+    FusedChain,
+    assert_fused_equal,
+    bn_input_grad_transform,
+    bn_relu_conv_backward,
+    bn_relu_conv_forward,
+    conv_bn_stats_forward,
+    max_abs_diff,
+    relu_conv_backward,
+    relu_conv_forward,
+)
+from repro.nn import BatchNorm2d, Conv2d, ReLU
+
+
+def make_chain(seed=0, cin=3, mid=6, cout=4, k2=3):
+    """Reference CONV-BN-ReLU-CONV chain plus an identically-weighted clone."""
+    c1 = Conv2d(cin, mid, 1, name="c1", seed=seed)
+    bn = BatchNorm2d(mid)
+    relu = ReLU()
+    c2 = Conv2d(mid, cout, k2, padding=k2 // 2, name="c2", seed=seed + 1)
+
+    c1f = Conv2d(cin, mid, 1, name="c1", seed=seed)
+    bnf = BatchNorm2d(mid)
+    c2f = Conv2d(mid, cout, k2, padding=k2 // 2, name="c2", seed=seed + 1)
+    return (c1, bn, relu, c2), (c1f, bnf, c2f)
+
+
+class TestRCFKernels:
+    def test_forward_matches_relu_then_conv(self):
+        r = rng(0)
+        conv_a = Conv2d(3, 5, 3, padding=1, seed=3)
+        conv_b = Conv2d(3, 5, 3, padding=1, seed=3)
+        x = r.normal(size=(4, 3, 8, 8)).astype(np.float32)
+        y_ref = conv_a(np.maximum(x, 0))
+        y_fused = relu_conv_forward(x, conv_b)
+        assert_fused_equal(y_fused, y_ref, "rcf forward")
+
+    def test_backward_matches(self):
+        r = rng(1)
+        relu = ReLU()
+        conv_a = Conv2d(3, 5, 3, padding=1, seed=4)
+        conv_b = Conv2d(3, 5, 3, padding=1, seed=4)
+        x = r.normal(size=(4, 3, 8, 8)).astype(np.float32)
+        y = conv_a(relu(x))
+        dy = r.normal(size=y.shape).astype(np.float32)
+        dx_ref = relu.backward(conv_a.backward(dy))
+
+        relu_conv_forward(x, conv_b)
+        dx_fused, _ = relu_conv_backward(x, dy, conv_b)
+        assert_fused_equal(dx_fused, dx_ref, "rcf dx")
+        assert_fused_equal(conv_b.weight.grad, conv_a.weight.grad, "rcf dW")
+
+
+class TestConvBnStats:
+    def test_stats_match_bn_over_conv_output(self):
+        r = rng(2)
+        conv = Conv2d(3, 6, 3, padding=1, seed=5)
+        x = r.normal(size=(4, 3, 8, 8)).astype(np.float32)
+        y, mean, var = conv_bn_stats_forward(x, conv)
+        np.testing.assert_allclose(mean, y.mean(axis=(0, 2, 3)), rtol=1e-5)
+        np.testing.assert_allclose(var, y.var(axis=(0, 2, 3)), rtol=1e-3, atol=1e-5)
+
+
+class TestBnInputGradTransform:
+    def test_matches_reference_bn_input_grad(self):
+        r = rng(3)
+        bn = BatchNorm2d(4)
+        x = r.normal(size=(6, 4, 5, 5)).astype(np.float32)
+        dy = r.normal(size=x.shape).astype(np.float32)
+        bn(x)
+        dx_ref = bn.backward(dy)
+        mean, var = bn.saved_stats()
+        dx = bn_input_grad_transform(
+            dy, x, mean, var, bn.gamma.data, bn.gamma.grad, bn.beta.grad, bn.eps
+        )
+        assert_fused_equal(dx, dx_ref, "input-grad transform")
+
+
+class TestBnReluConv:
+    def test_forward_matches_chain(self):
+        (c1, bn, relu, c2), (c1f, bnf, c2f) = make_chain(seed=10)
+        x = rng(4).normal(size=(4, 3, 8, 8)).astype(np.float32)
+        y_ref = c2(relu(bn(c1(x))))
+        bn_x, mean, var = conv_bn_stats_forward(x, c1f)
+        y_fused = bn_relu_conv_forward(bn_x, mean, var, bnf.gamma.data,
+                                       bnf.beta.data, c2f)
+        assert_fused_equal(y_fused, y_ref, "bn-relu-conv forward")
+
+    def test_backward_matches_chain(self):
+        (c1, bn, relu, c2), (c1f, bnf, c2f) = make_chain(seed=11)
+        r = rng(5)
+        x = r.normal(size=(4, 3, 8, 8)).astype(np.float32)
+        y_ref = c2(relu(bn(c1(x))))
+        dy = r.normal(size=y_ref.shape).astype(np.float32)
+        d_bn_out_ref = relu.backward(c2.backward(dy))
+
+        bn_x, mean, var = conv_bn_stats_forward(x, c1f)
+        bn_relu_conv_forward(bn_x, mean, var, bnf.gamma.data, bnf.beta.data, c2f)
+        d_bn_out, dgamma, dbeta = bn_relu_conv_backward(
+            dy, c2f, bn_x, mean, var, bnf.gamma.data, bnf.beta.data
+        )
+        assert_fused_equal(d_bn_out, d_bn_out_ref, "d_bn_out")
+        # Reference dgamma/dbeta via the BN layer.
+        dg_ref, db_ref = bn.param_grads(d_bn_out_ref)
+        assert_fused_equal(dgamma, dg_ref.astype(np.float32), "dgamma")
+        assert_fused_equal(dbeta, db_ref.astype(np.float32), "dbeta")
+        assert_fused_equal(c2f.weight.grad, c2.weight.grad, "dW2")
+
+
+class TestFusedChain:
+    def test_end_to_end_equivalence(self):
+        (c1, bn, relu, c2), (c1f, bnf, c2f) = make_chain(seed=12)
+        r = rng(6)
+        x = r.normal(size=(6, 3, 10, 10)).astype(np.float32)
+        y_ref = c2(relu(bn(c1(x))))
+        dy = r.normal(size=y_ref.shape).astype(np.float32)
+        dx_ref = c1.backward(bn.backward(relu.backward(c2.backward(dy))))
+
+        chain = FusedChain(c1f, bnf, c2f)
+        y = chain(x)
+        dx = chain.backward(dy)
+        assert_fused_equal(y, y_ref, "chain forward")
+        assert_fused_equal(dx, dx_ref, "chain dx")
+        assert_fused_equal(c1f.weight.grad, c1.weight.grad, "chain dW1")
+        assert_fused_equal(bnf.gamma.grad, bn.gamma.grad, "chain dgamma")
+        assert_fused_equal(bnf.beta.grad, bn.beta.grad, "chain dbeta")
+
+    def test_only_bn_x_is_retained(self):
+        """The restructured chain must not keep normalized/rectified maps."""
+        _, (c1f, bnf, c2f) = make_chain(seed=13)
+        chain = FusedChain(c1f, bnf, c2f)
+        x = rng(7).normal(size=(2, 3, 6, 6)).astype(np.float32)
+        chain(x)
+        # The chain's saved state is exactly the pre-BN conv output + stats.
+        assert chain._bn_x is not None
+        assert chain._bn_x.shape == (2, 6, 6, 6)
+
+    def test_mismatched_channels_rejected(self):
+        c1 = Conv2d(3, 6, 1, seed=0)
+        bn = BatchNorm2d(8)
+        c2 = Conv2d(8, 4, 3, padding=1, seed=1)
+        with pytest.raises(ExecutionError):
+            FusedChain(c1, bn, c2)
+
+    def test_backward_before_forward_raises(self):
+        _, (c1f, bnf, c2f) = make_chain(seed=14)
+        chain = FusedChain(c1f, bnf, c2f)
+        with pytest.raises(ExecutionError):
+            chain.backward(np.zeros((1, 4, 6, 6), dtype=np.float32))
+
+
+class TestVerifyHelpers:
+    def test_max_abs_diff(self):
+        a = np.array([1.0, 2.0])
+        b = np.array([1.0, 2.5])
+        assert max_abs_diff(a, b) == pytest.approx(0.5)
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            max_abs_diff(np.zeros(2), np.zeros(3))
+
+    def test_assert_fused_equal_failure_message(self):
+        with pytest.raises(AssertionError, match="max|diff"):
+            assert_fused_equal(np.zeros(3), np.ones(3), "demo")

@@ -1,0 +1,70 @@
+"""Inception (extension model): multi-branch topology under the passes."""
+
+import pytest
+
+from repro.graph.node import OpKind
+from repro.models import build_model
+from repro.models.inception import GOOGLENET_MODULES, inception_graph
+from repro.passes import apply_scenario
+
+
+@pytest.fixture(scope="module")
+def g():
+    return build_model("inception", batch=4)
+
+
+class TestStructure:
+    def test_nine_modules_nine_concats(self, g):
+        assert len(g.nodes_of_kind(OpKind.CONCAT)) == len(GOOGLENET_MODULES)
+
+    def test_four_way_concat(self, g):
+        concat = g.node("inception0/concat")
+        assert len(concat.inputs) == 4
+
+    def test_module_input_fans_out_via_split(self, g):
+        """Each module input feeds four branches -> one 4-way Split."""
+        splits = g.nodes_of_kind(OpKind.SPLIT)
+        four_way = [s for s in splits if len(s.outputs) == 4]
+        assert len(four_way) == len(GOOGLENET_MODULES)
+
+    def test_output_channels_match_googlenet(self, g):
+        # inception (3a): 64+128+32+32 = 256.
+        assert g.tensor("inception0/concat.out").channels == 256
+        # final module: 384+384+128+128 = 1024.
+        assert g.tensor("inception8/concat.out").channels == 1024
+
+    def test_width_multiplier(self):
+        tiny = inception_graph(batch=2, width_multiplier=0.25,
+                               modules=GOOGLENET_MODULES[:1], name="t")
+        assert tiny.tensor("inception0/concat.out").channels == 64
+
+
+class TestPasses:
+    def test_branch_bns_fully_fused(self, g):
+        """Every in-branch BN is CONV-fed and followed by ReLU->CONV or
+        ReLU->Concat; statistics always fuse, normalize fuses when a conv
+        consumer exists."""
+        gg, _ = apply_scenario(g, "bnff")
+        alive_stats = [n.name for n in gg.nodes_of_kind(OpKind.BN_STATS)
+                       if not n.attrs.get("fused_into")]
+        assert alive_stats == []
+
+    def test_branch_end_norms_survive_bnff(self, g):
+        """Branch-final BNs feed the Concat through ReLU — no conv consumer,
+        so their normalize halves survive plain BNFF (and RCF leaves the
+        ReLU alone)."""
+        gg, _ = apply_scenario(g, "bnff")
+        alive_norms = [n for n in gg.nodes_of_kind(OpKind.BN_NORM)
+                       if not n.attrs.get("fused_into")]
+        assert len(alive_norms) > 0
+
+    def test_icf_noop_without_boundary_stats(self, g):
+        """All stats are conv-fused already, so ICF has nothing to claim."""
+        bnff, _ = apply_scenario(g, "bnff")
+        icf, _ = apply_scenario(g, "bnff_icf")
+        assert bnff.sweep_count() == icf.sweep_count()
+
+    def test_scenarios_reduce_sweeps(self, g):
+        counts = [apply_scenario(g, sc)[0].sweep_count()
+                  for sc in ("baseline", "rcf", "rcf_mvf", "bnff")]
+        assert counts == sorted(counts, reverse=True)

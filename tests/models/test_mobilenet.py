@@ -1,0 +1,82 @@
+"""MobileNet-V1 (extension model): structure and BNFF behaviour."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.node import OpKind
+from repro.hw import SKYLAKE_2S
+from repro.models import build_model
+from repro.models.mobilenet import MOBILENET_V1_BLOCKS, mobilenet_v1_graph
+from repro.passes import apply_scenario
+from repro.perf import simulate
+from repro.perf.report import speedup
+
+
+@pytest.fixture(scope="module")
+def g():
+    return build_model("mobilenet_v1", batch=8)
+
+
+class TestStructure:
+    def test_block_count(self, g):
+        dw = [n for n in g.nodes_of_kind(OpKind.CONV)
+              if n.attrs.get("depthwise")]
+        assert len(dw) == len(MOBILENET_V1_BLOCKS) == 13
+
+    def test_27_bns(self, g):
+        # stem + 2 per block.
+        assert len(g.nodes_of_kind(OpKind.BN)) == 1 + 2 * 13
+
+    def test_every_bn_conv_fed(self, g):
+        for bn in g.nodes_of_kind(OpKind.BN):
+            assert g.producer_of(bn.inputs[0]).kind is OpKind.CONV
+
+    def test_resolution_schedule(self, g):
+        assert g.tensor("stem/conv0.out").spatial == (112, 112)
+        assert g.tensor("block12/pw.out").spatial == (7, 7)
+
+    def test_classifier_width(self, g):
+        assert g.node("head/classifier").attrs["in_features"] == 1024
+
+    def test_width_multiplier(self):
+        half = mobilenet_v1_graph(batch=2, width_multiplier=0.5)
+        assert half.node("block12/pw").attrs["out_channels"] == 512
+
+    def test_bad_multiplier_rejected(self):
+        with pytest.raises(GraphError):
+            mobilenet_v1_graph(batch=2, width_multiplier=0.0)
+
+
+class TestBnff:
+    def test_all_bns_fully_fused(self):
+        """No Concat/Split anywhere: plain BNFF covers every BN."""
+        g = build_model("mobilenet_v1", batch=8)
+        gg, _ = apply_scenario(g, "bnff")
+        alive = [n for n in gg.nodes_of_kind(OpKind.BN_STATS)
+                 if not n.attrs.get("fused_into")]
+        assert alive == []
+
+    def test_bnff_gain_exceeds_densenet(self):
+        """Depthwise convs do almost no arithmetic, so the BN/ReLU share —
+        and hence the restructuring gain — tops even DenseNet-121."""
+        gains = {}
+        for model in ("mobilenet_v1", "densenet121"):
+            graph = build_model(model, batch=120)
+            fused, _ = apply_scenario(graph, "bnff")
+            gains[model] = speedup(
+                simulate(graph, SKYLAKE_2S),
+                simulate(fused, SKYLAKE_2S, scenario="bnff"),
+            )
+        assert gains["mobilenet_v1"] > gains["densenet121"] > 0.2
+
+    def test_depthwise_convs_are_memory_bound(self):
+        g = build_model("mobilenet_v1", batch=120)
+        cost = simulate(g, SKYLAKE_2S)
+        dw_costs = [n for n in cost.nodes
+                    if n.kind is OpKind.CONV and "dw" in n.name]
+        assert dw_costs
+        memory_bound = sum(1 for n in dw_costs if n.fwd.bound == "memory")
+        # Early blocks (large spatial maps) are memory-bound; the last
+        # blocks at 7x7 legitimately fit in the 95MB LLC and flip to
+        # compute-bound — the cache model working as intended.
+        assert memory_bound / len(dw_costs) > 0.4

@@ -1,0 +1,165 @@
+"""Model zoo: structural facts that the paper (and its citations) fix."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.node import OpKind
+from repro.models import MODEL_BUILDERS, build_model
+from repro.models.densenet import densenet_graph
+from repro.models.resnet import resnet_graph
+
+
+def kind_counts(graph):
+    out = {}
+    for n in graph.nodes:
+        out[n.kind] = out.get(n.kind, 0) + 1
+    return out
+
+
+class TestDenseNet121:
+    @pytest.fixture(scope="class")
+    def g(self):
+        return build_model("densenet121", batch=4)
+
+    def test_120_conv_plus_one_fc(self, g):
+        """The paper: 'DenseNet with 120 CONV layers plus one FC layer'."""
+        counts = kind_counts(g)
+        assert counts[OpKind.CONV] == 120
+        assert counts[OpKind.FC] == 1
+
+    def test_121_bn_layers(self, g):
+        assert kind_counts(g)[OpKind.BN] == 121
+
+    def test_58_composite_layers(self, g):
+        """Blocks of 6+12+24+16 CPLs, one Concat each."""
+        assert kind_counts(g)[OpKind.CONCAT] == 58
+        assert kind_counts(g)[OpKind.SPLIT] == 58
+
+    def test_bottleneck_width_is_4k(self, g):
+        conv = g.node("block3/cpl10/conv_bottleneck")
+        assert conv.attrs["out_channels"] == 128  # 4 x growth(32)
+
+    def test_growth_conv_outputs_k_channels(self, g):
+        conv = g.node("block2/cpl3/conv_grow")
+        assert conv.attrs["out_channels"] == 32
+
+    def test_channel_growth_along_block(self, g):
+        """CPL l receives c0 + l*k input channels."""
+        bn0 = g.node("block1/cpl0/bn_a")
+        bn5 = g.node("block1/cpl5/bn_a")
+        assert bn0.attrs["channels"] == 64
+        assert bn5.attrs["channels"] == 64 + 5 * 32
+
+    def test_transition_halves_channels(self, g):
+        conv = g.node("transition1/conv")
+        assert conv.attrs["in_channels"] == 64 + 6 * 32  # 256
+        assert conv.attrs["out_channels"] == 128
+
+    def test_spatial_resolution_schedule(self, g):
+        # 224 -> 112 (stem conv) -> 56 (pool) -> 28 -> 14 -> 7.
+        assert g.tensor("stem/conv0.out").spatial == (112, 112)
+        assert g.tensor("stem/pool0.out").spatial == (56, 56)
+        assert g.tensor("transition1/pool.out").spatial == (28, 28)
+        assert g.tensor("transition2/pool.out").spatial == (14, 14)
+        assert g.tensor("transition3/pool.out").spatial == (7, 7)
+
+    def test_final_channels_1024(self, g):
+        fc = g.node("head/classifier")
+        assert fc.attrs["in_features"] == 1024
+
+    def test_unknown_depth_rejected(self):
+        with pytest.raises(GraphError):
+            densenet_graph(depth=99)
+
+    def test_boundary_bns_fed_by_split_or_concat(self, g):
+        """Every first-in-CPL BN must have a Split/Concat-side producer —
+        the structural fact behind the ICF pass."""
+        for node in g.nodes_of_kind(OpKind.BN):
+            if node.name.endswith("bn_a"):
+                producer = g.producer_of(node.inputs[0])
+                assert producer.kind in (OpKind.SPLIT, OpKind.CONCAT,
+                                         OpKind.POOL_MAX, OpKind.POOL_AVG)
+
+
+class TestResNet50:
+    @pytest.fixture(scope="class")
+    def g(self):
+        return build_model("resnet50", batch=4)
+
+    def test_53_convs_53_bns(self, g):
+        """1 stem + 48 block convs + 4 projections; each conv has a BN."""
+        counts = kind_counts(g)
+        assert counts[OpKind.CONV] == 53
+        assert counts[OpKind.BN] == 53
+
+    def test_16_blocks_16_ews(self, g):
+        assert kind_counts(g)[OpKind.EWS] == 16
+
+    def test_every_bn_preceded_by_conv(self, g):
+        """The structural reason ResNet needs no ICF."""
+        for node in g.nodes_of_kind(OpKind.BN):
+            assert g.producer_of(node.inputs[0]).kind is OpKind.CONV
+
+    def test_expansion_factor_4(self, g):
+        conv3 = g.node("stage1/block0/conv3")
+        assert conv3.attrs["out_channels"] == 256
+
+    def test_stage_strides(self, g):
+        assert g.node("stage2/block0/conv2").attrs["stride"] == 2
+        assert g.node("stage1/block0/conv2").attrs["stride"] == 1
+
+    def test_classifier_input_2048(self, g):
+        assert g.node("head/classifier").attrs["in_features"] == 2048
+
+    def test_basic_block_depths(self):
+        g18 = resnet_graph(depth=18, batch=2)
+        counts = kind_counts(g18)
+        # 1 stem + 16 block convs + 3 projections.
+        assert counts[OpKind.CONV] == 20
+
+    def test_unknown_depth_rejected(self):
+        with pytest.raises(GraphError):
+            resnet_graph(depth=42)
+
+
+class TestEarlyModels:
+    def test_alexnet_structure(self):
+        g = build_model("alexnet", batch=2)
+        counts = kind_counts(g)
+        assert counts[OpKind.CONV] == 5
+        assert counts[OpKind.FC] == 3
+        assert OpKind.BN not in counts
+
+    def test_vgg16_structure(self):
+        g = build_model("vgg16", batch=2)
+        counts = kind_counts(g)
+        assert counts[OpKind.CONV] == 13
+        assert counts[OpKind.FC] == 3
+
+    def test_vgg_halving_schedule(self):
+        g = build_model("vgg16", batch=2)
+        assert g.tensor("stage5/pool.out").spatial == (7, 7)
+
+
+class TestRegistryAndTinyModels:
+    def test_all_registered_models_build(self):
+        for name in MODEL_BUILDERS:
+            kwargs = {"batch": 2}
+            if name.startswith(("alexnet", "vgg", "resnet", "densenet")):
+                kwargs["image"] = (3, 224, 224)
+            g = build_model(name, **kwargs)
+            g.validate()
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(GraphError):
+            build_model("lenet")
+
+    def test_tiny_densenet_keeps_topology(self):
+        g = build_model("tiny_densenet", batch=2)
+        counts = kind_counts(g)
+        assert counts[OpKind.CONCAT] == 4  # 2 blocks x 2 CPLs
+        assert counts[OpKind.SPLIT] == 4
+
+    def test_tiny_models_are_small(self):
+        g = build_model("tiny_cnn", batch=2)
+        assert len(g.nodes) < 15

@@ -1,0 +1,120 @@
+"""BatchNorm2d: statistics, normalization, gradients, staged sub-passes."""
+
+import numpy as np
+import pytest
+
+from repro.config import rng
+from repro.errors import ExecutionError, ShapeError
+from repro.nn import BatchNorm2d
+
+from tests.conftest import numerical_gradient, sample_indices
+
+
+class TestForward:
+    def test_output_is_normalized(self):
+        bn = BatchNorm2d(4)
+        x = rng(0).normal(loc=3.0, scale=2.0, size=(16, 4, 8, 8)).astype(np.float32)
+        y = bn(x)
+        np.testing.assert_allclose(y.mean(axis=(0, 2, 3)), 0.0, atol=1e-5)
+        np.testing.assert_allclose(y.std(axis=(0, 2, 3)), 1.0, atol=1e-3)
+
+    def test_gamma_beta_applied(self):
+        bn = BatchNorm2d(2)
+        bn.gamma.data[:] = [2.0, 3.0]
+        bn.beta.data[:] = [-1.0, 5.0]
+        x = rng(1).normal(size=(8, 2, 4, 4)).astype(np.float32)
+        y = bn(x)
+        np.testing.assert_allclose(y.mean(axis=(0, 2, 3)), [-1.0, 5.0], atol=1e-5)
+        np.testing.assert_allclose(y.std(axis=(0, 2, 3)), [2.0, 3.0], rtol=1e-2)
+
+    def test_staged_passes_match_forward(self):
+        """mean/var/normalize stages compose to the same output as forward."""
+        bn1, bn2 = BatchNorm2d(3), BatchNorm2d(3)
+        x = rng(2).normal(size=(4, 3, 5, 5)).astype(np.float32)
+        y1 = bn1(x)
+        mean = bn2.compute_mean(x)
+        var = bn2.compute_var(x, mean)
+        y2 = bn2.normalize(x, mean, var)
+        np.testing.assert_allclose(y1, y2, rtol=1e-6, atol=1e-7)
+
+    def test_running_stats_updated(self):
+        bn = BatchNorm2d(2, momentum=0.5)
+        x = rng(3).normal(loc=10.0, size=(8, 2, 4, 4)).astype(np.float32)
+        bn(x)
+        assert np.all(bn.running_mean > 4.0)  # pulled half-way toward ~10
+
+    def test_inference_uses_running_stats(self):
+        bn = BatchNorm2d(2, momentum=1.0)
+        x = rng(4).normal(loc=5.0, size=(8, 2, 4, 4)).astype(np.float32)
+        bn(x)  # running stats now equal batch stats
+        bn.eval()
+        y = bn(x)
+        np.testing.assert_allclose(y.mean(axis=(0, 2, 3)), 0.0, atol=1e-2)
+
+    def test_wrong_channels_raises(self):
+        with pytest.raises(ShapeError):
+            BatchNorm2d(3)(np.zeros((2, 4, 4, 4), dtype=np.float32))
+
+
+class TestBackward:
+    def test_input_gradient_numerical(self):
+        bn = BatchNorm2d(2)
+        bn.gamma.data = bn.gamma.data.astype(np.float64)
+        bn.beta.data = bn.beta.data.astype(np.float64)
+        x = rng(5).normal(size=(4, 2, 3, 3))
+        dy = rng(6).normal(size=x.shape)
+
+        bn(x)
+        dx = bn.backward(dy)
+
+        idxs = sample_indices(x.shape, 10, seed=3)
+        num = numerical_gradient(lambda: float((bn.forward(x) * dy).sum()), x, idxs,
+                                 eps=1e-5)
+        for idx, g in num.items():
+            assert dx[idx] == pytest.approx(g, rel=1e-3, abs=1e-6)
+
+    def test_param_gradients(self):
+        bn = BatchNorm2d(2)
+        x = rng(7).normal(size=(4, 2, 3, 3)).astype(np.float32)
+        dy = rng(8).normal(size=x.shape).astype(np.float32)
+        y = bn(x)
+        bn.backward(dy)
+        # dbeta is the plain sum of dy per channel.
+        np.testing.assert_allclose(bn.beta.grad, dy.sum(axis=(0, 2, 3)), rtol=1e-5)
+        # dgamma is sum(dy * x_hat); with gamma=1, beta=0, x_hat == y.
+        np.testing.assert_allclose(
+            bn.gamma.grad, (dy * y).sum(axis=(0, 2, 3)), rtol=1e-3, atol=1e-3
+        )
+
+    def test_staged_backward_matches(self):
+        """param_grads + input_grad == backward."""
+        bn1, bn2 = BatchNorm2d(3), BatchNorm2d(3)
+        x = rng(9).normal(size=(4, 3, 4, 4)).astype(np.float32)
+        dy = rng(10).normal(size=x.shape).astype(np.float32)
+        bn1(x)
+        dx1 = bn1.backward(dy)
+        bn2(x)
+        dgamma, dbeta = bn2.param_grads(dy)
+        dx2 = bn2.input_grad(dy, dgamma, dbeta)
+        np.testing.assert_allclose(dx1, dx2, rtol=1e-6, atol=1e-7)
+        np.testing.assert_allclose(bn1.gamma.grad, dgamma, rtol=1e-6)
+
+    def test_gradient_sums_to_zero_per_channel(self):
+        """BN input gradients sum to ~0 per channel (mean-subtraction)."""
+        bn = BatchNorm2d(3)
+        x = rng(11).normal(size=(6, 3, 4, 4)).astype(np.float32)
+        dy = rng(12).normal(size=x.shape).astype(np.float32)
+        bn(x)
+        dx = bn.backward(dy)
+        np.testing.assert_allclose(dx.sum(axis=(0, 2, 3)), 0.0, atol=1e-3)
+
+    def test_backward_before_forward_raises(self):
+        with pytest.raises(ExecutionError):
+            BatchNorm2d(2).backward(np.zeros((1, 2, 2, 2), dtype=np.float32))
+
+    def test_saved_stats_available_after_forward(self):
+        bn = BatchNorm2d(2)
+        x = rng(13).normal(size=(4, 2, 3, 3)).astype(np.float32)
+        bn(x)
+        mean, var = bn.saved_stats()
+        np.testing.assert_allclose(mean, x.mean(axis=(0, 2, 3)), rtol=1e-5)

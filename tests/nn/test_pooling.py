@@ -1,0 +1,104 @@
+"""Pooling layers: values, routing, gradients."""
+
+import numpy as np
+import pytest
+
+from repro.config import rng
+from repro.errors import ExecutionError, ShapeError
+from repro.nn import AvgPool2d, GlobalAvgPool2d, MaxPool2d
+
+from tests.conftest import numerical_gradient, sample_indices
+
+
+class TestMaxPool:
+    def test_values(self):
+        x = np.arange(16, dtype=np.float32).reshape(1, 1, 4, 4)
+        y = MaxPool2d(2)(x)
+        np.testing.assert_array_equal(y[0, 0], [[5, 7], [13, 15]])
+
+    def test_overlapping_stem_pool_shape(self):
+        mp = MaxPool2d(3, stride=2, padding=1)
+        x = rng(0).normal(size=(2, 4, 112, 112)).astype(np.float32)
+        assert mp(x).shape == (2, 4, 56, 56)
+
+    def test_backward_routes_to_argmax(self):
+        x = np.arange(16, dtype=np.float32).reshape(1, 1, 4, 4)
+        mp = MaxPool2d(2)
+        y = mp(x)
+        dx = mp.backward(np.ones_like(y))
+        expected = np.zeros((4, 4))
+        for r, c in [(1, 1), (1, 3), (3, 1), (3, 3)]:
+            expected[r, c] = 1.0
+        np.testing.assert_array_equal(dx[0, 0], expected)
+
+    def test_backward_accumulates_overlaps(self):
+        # stride 1 windows overlap: a pixel can be argmax of several.
+        x = np.zeros((1, 1, 3, 3), dtype=np.float32)
+        x[0, 0, 1, 1] = 10.0
+        mp = MaxPool2d(2, stride=1)
+        y = mp(x)
+        dx = mp.backward(np.ones_like(y))
+        assert dx[0, 0, 1, 1] == 4.0
+
+    def test_numerical_gradient(self):
+        mp = MaxPool2d(3, stride=2, padding=1)
+        x = rng(1).normal(size=(2, 2, 7, 7))
+        y = mp(x)
+        dx = mp.backward(np.ones_like(y))
+        idxs = sample_indices(x.shape, 10, seed=4)
+        num = numerical_gradient(lambda: mp.forward(x).sum(), x, idxs, eps=1e-4)
+        for idx, g in num.items():
+            assert dx[idx] == pytest.approx(g, abs=1e-6)
+
+    def test_backward_before_forward_raises(self):
+        with pytest.raises(ExecutionError):
+            MaxPool2d(2).backward(np.zeros((1, 1, 2, 2), dtype=np.float32))
+
+    def test_non_nchw_raises(self):
+        with pytest.raises(ShapeError):
+            MaxPool2d(2)(np.zeros((4, 4), dtype=np.float32))
+
+
+class TestAvgPool:
+    def test_values(self):
+        x = np.arange(16, dtype=np.float32).reshape(1, 1, 4, 4)
+        y = AvgPool2d(2)(x)
+        np.testing.assert_allclose(y[0, 0], [[2.5, 4.5], [10.5, 12.5]])
+
+    def test_backward_spreads_evenly(self):
+        ap = AvgPool2d(2)
+        x = rng(2).normal(size=(1, 1, 4, 4)).astype(np.float32)
+        y = ap(x)
+        dx = ap.backward(np.ones_like(y))
+        np.testing.assert_allclose(dx, 0.25)
+
+    def test_numerical_gradient(self):
+        ap = AvgPool2d(2, stride=2)
+        x = rng(3).normal(size=(2, 2, 6, 6))
+        y = ap(x)
+        dy = rng(4).normal(size=y.shape)
+        dx = ap.backward(dy)
+        idxs = sample_indices(x.shape, 8, seed=5)
+        num = numerical_gradient(lambda: float((ap.forward(x) * dy).sum()), x, idxs,
+                                 eps=1e-4)
+        for idx, g in num.items():
+            assert dx[idx] == pytest.approx(g, abs=1e-6)
+
+    def test_ceil_mode_shape(self):
+        ap = AvgPool2d(2, stride=2, ceil_mode=True)
+        assert ap(np.zeros((1, 1, 7, 7), dtype=np.float32)).shape == (1, 1, 4, 4)
+
+
+class TestGlobalAvgPool:
+    def test_values_and_shape(self):
+        x = rng(5).normal(size=(2, 3, 5, 5)).astype(np.float32)
+        y = GlobalAvgPool2d()(x)
+        assert y.shape == (2, 3, 1, 1)
+        np.testing.assert_allclose(y[..., 0, 0], x.mean(axis=(2, 3)), rtol=1e-6)
+
+    def test_backward(self):
+        gap = GlobalAvgPool2d()
+        x = rng(6).normal(size=(2, 3, 4, 4)).astype(np.float32)
+        y = gap(x)
+        dx = gap.backward(np.ones_like(y))
+        np.testing.assert_allclose(dx, 1.0 / 16)

@@ -1,0 +1,118 @@
+"""Inference-time BN folding — the classical fusion BNFF generalizes.
+
+The contrast the paper draws in Section 2.1: at inference BN is a frozen
+affine and vanishes into the convolution's weights; at training the
+mini-batch statistics forbid that, which is why BNFF restructures the
+schedule instead. Both halves are tested here.
+"""
+
+import numpy as np
+import pytest
+
+from repro.config import rng
+from repro.errors import ExecutionError, PassError
+from repro.graph.node import OpKind
+from repro.models import build_model
+from repro.nn import BatchNorm2d, Conv2d
+from repro.passes import apply_scenario, fold_bn_into_conv, foldable_pairs
+from repro.train import GraphExecutor, synthetic_batch
+
+
+def trained_pair(seed=0, cin=3, cout=8):
+    """A conv+bn pair with non-trivial running statistics and parameters."""
+    conv = Conv2d(cin, cout, 3, padding=1, seed=seed)
+    bn = BatchNorm2d(cout, momentum=1.0)
+    bn.gamma.data[:] = rng(seed).uniform(0.5, 1.5, cout).astype(np.float32)
+    bn.beta.data[:] = rng(seed + 1).normal(size=cout).astype(np.float32)
+    x = rng(seed + 2).normal(size=(8, cin, 10, 10)).astype(np.float32)
+    bn(conv(x))  # one training step populates running stats
+    return conv, bn, x
+
+
+class TestFolding:
+    def test_folded_conv_equals_eval_bn(self):
+        conv, bn, x = trained_pair()
+        bn.eval()
+        y_ref = bn(conv(x))
+        fold_bn_into_conv(conv, bn)
+        np.testing.assert_allclose(conv(x), y_ref, rtol=1e-4, atol=1e-5)
+
+    def test_fold_materializes_bias(self):
+        conv, bn, _ = trained_pair()
+        assert conv.bias is None
+        fold_bn_into_conv(conv, bn)
+        assert conv.bias is not None
+        assert conv.bias.data.shape == (8,)
+
+    def test_fold_composes_with_existing_bias(self):
+        conv = Conv2d(3, 4, 1, bias=True, seed=1)
+        conv.bias.data[:] = 1.0
+        bn = BatchNorm2d(4, momentum=1.0)
+        x = rng(3).normal(size=(4, 3, 6, 6)).astype(np.float32)
+        bn(conv(x))
+        bn.eval()
+        y_ref = bn(conv(x))
+        fold_bn_into_conv(conv, bn)
+        np.testing.assert_allclose(conv(x), y_ref, rtol=1e-4, atol=1e-5)
+
+    def test_channel_mismatch_rejected(self):
+        conv = Conv2d(3, 4, 1, seed=0)
+        with pytest.raises(PassError):
+            fold_bn_into_conv(conv, BatchNorm2d(8))
+
+
+class TestFoldablePairs:
+    def test_resnet_every_bn_foldable(self):
+        g = build_model("resnet50", batch=2)
+        pairs = foldable_pairs(g)
+        assert len(pairs) == len(g.nodes_of_kind(OpKind.BN)) == 53
+
+    def test_densenet_only_interior_bns_foldable(self):
+        """Boundary BNs (Concat/Split-fed) cannot fold at inference either —
+        the same structural line ICF addresses at training time."""
+        g = build_model("densenet121", batch=2)
+        pairs = foldable_pairs(g)
+        bn_total = len(g.nodes_of_kind(OpKind.BN))
+        assert 0 < len(pairs) < bn_total
+        # Exactly the second-in-CPL BNs plus the stem BN: 58 + 1.
+        assert len(pairs) == 59
+
+
+class TestInferenceExecution:
+    def test_predict_uses_running_stats(self):
+        g = build_model("tiny_cnn", batch=4)
+        ex = GraphExecutor(g, seed=0)
+        x, y = synthetic_batch(4, (3, 16, 16), 10, seed=0)
+        ex.forward(x, y)  # populates running stats
+        logits = ex.predict(x)
+        assert logits.shape == (4, 10)
+        # Deterministic: same input, same logits.
+        np.testing.assert_array_equal(logits, ex.predict(x))
+
+    def test_predict_rejects_restructured_graph(self):
+        g, _ = apply_scenario(build_model("tiny_cnn", batch=4), "bnff")
+        ex = GraphExecutor(g, seed=0)
+        with pytest.raises(ExecutionError):
+            ex.predict(np.zeros((4, 3, 16, 16), dtype=np.float32))
+
+    def test_training_then_folding_end_to_end(self):
+        """Train a little, fold every conv+bn pair, check inference equal."""
+        g = build_model("tiny_cnn", batch=8)
+        ex = GraphExecutor(g, seed=0)
+        x, y = synthetic_batch(8, (3, 16, 16), 10, seed=1)
+        for step in range(3):
+            ex.forward(x, y)
+            ex.backward()
+        logits_ref = ex.predict(x)
+
+        for conv_name, bn_name in foldable_pairs(g):
+            fold_bn_into_conv(ex.modules[conv_name], ex.modules[bn_name])
+            # Neutralize the BN for the check by making it an identity.
+            bn = ex.modules[bn_name]
+            bn.gamma.data[:] = 1.0
+            bn.beta.data[:] = 0.0
+            bn.running_mean[:] = 0.0
+            bn.running_var[:] = 1.0
+        logits_folded = ex.predict(x)
+        np.testing.assert_allclose(logits_folded, logits_ref, rtol=1e-3,
+                                   atol=1e-4)

@@ -1,0 +1,308 @@
+"""Restructuring passes: pinned sweep arithmetic per Figure 5.
+
+The key quantitative pins (DESIGN.md Section 5):
+
+* interior CONV-BN-ReLU-CONV chain, forward: 10 feature sweeps -> 4
+  (the paper's in-span counting of 8 -> 3);
+* same chain, backward: 16 -> 11 — "BNFF removes five memory sweeps per
+  BN layer" on the backward pass;
+* RCF alone: ReLU's 2 forward sweeps removed; 3 backward removed at the
+  cost of 1 added mask read;
+* MVF alone: exactly one forward sweep removed per BN, backward untouched.
+"""
+
+import pytest
+
+from repro.errors import PassError
+from repro.graph import GraphBuilder, OpKind
+from repro.models import build_model, tiny_cnn_graph
+from repro.passes import (
+    FissionPass,
+    FusionPass,
+    ICFPass,
+    MVFPass,
+    PassManager,
+    RCFPass,
+    apply_scenario,
+    scenario_passes,
+)
+from repro.passes.scenarios import SCENARIO_ORDER
+
+
+def chain_graph():
+    """CONV1-BN-ReLU-CONV2 interior chain with a loss head."""
+    b = GraphBuilder("chain", batch=4, image=(3, 8, 8))
+    x = b.input()
+    x = b.conv(x, 8, kernel=1, name="conv1")
+    x = b.bn(x, name="bn")
+    x = b.relu(x, name="relu")
+    x = b.conv(x, 4, kernel=3, padding=1, name="conv2")
+    b.loss(b.fc(b.global_pool(x), 2))
+    return b.finalize()
+
+
+def feature_sweeps(graph, names, direction=None):
+    """Count feature-tensor sweeps over the given nodes."""
+    total = 0
+    for name in names:
+        node = graph.node(name)
+        for s in node.fwd_sweeps + node.bwd_sweeps:
+            spec = graph.tensor(s.tensor)
+            if spec.kind.value == "feature":
+                total += 1
+    return total
+
+
+def split_sweeps(graph, names):
+    fwd = bwd = 0
+    for name in names:
+        node = graph.node(name)
+        fwd += sum(1 for s in node.fwd_sweeps
+                   if graph.tensor(s.tensor).kind.value == "feature")
+        bwd += sum(1 for s in node.bwd_sweeps
+                   if graph.tensor(s.tensor).kind.value == "feature")
+    return fwd, bwd
+
+
+CHAIN = ("conv1", "bn", "relu", "conv2")
+CHAIN_FISSIONED = ("conv1", "bn.stats", "bn.norm", "relu", "conv2")
+
+
+class TestFission:
+    def test_bn_replaced_by_sublayers(self):
+        g = chain_graph()
+        FissionPass()(g)
+        assert not g.has_node("bn")
+        assert g.node("bn.stats").kind is OpKind.BN_STATS
+        assert g.node("bn.norm").kind is OpKind.BN_NORM
+
+    def test_ledger_conserved(self):
+        """Fission alone moves no traffic: 4+5 sweeps stay 4+5."""
+        g = chain_graph()
+        FissionPass()(g)
+        fwd, bwd = split_sweeps(g, ("bn.stats", "bn.norm"))
+        assert fwd == 4
+        assert bwd == 5
+
+    def test_backward_order_pgrads_before_input_grad(self):
+        """Reverse schedule must hit sub-BN2' (norm) before sub-BN1' (stats)."""
+        g = chain_graph()
+        FissionPass()(g)
+        order = [n.name for n in g.nodes]
+        assert order.index("bn.stats") < order.index("bn.norm")
+
+    def test_stats_tensor_is_channel_stat(self):
+        g = chain_graph()
+        FissionPass()(g)
+        spec = g.tensor("bn.stats_out")
+        assert spec.kind.value == "channel_stat"
+        assert spec.shape == (2, 8)
+
+
+class TestMVF:
+    def test_one_forward_sweep_removed_per_bn(self):
+        g = chain_graph()
+        res = MVFPass()(g)
+        assert res.sweeps_removed == 1
+        bn = g.node("bn")
+        assert [s.tag for s in bn.fwd_sweeps] == [
+            "read_x_stats", "read_x_normalize", "write_y",
+        ]
+
+    def test_backward_untouched(self):
+        g = chain_graph()
+        before = [s.tag for s in g.node("bn").bwd_sweeps]
+        MVFPass()(g)
+        assert [s.tag for s in g.node("bn").bwd_sweeps] == before
+
+    def test_idempotent(self):
+        g = chain_graph()
+        MVFPass()(g)
+        res2 = MVFPass()(g)
+        assert res2.sweeps_removed == 0
+
+    def test_applies_to_fissioned_stats(self):
+        g = chain_graph()
+        FissionPass()(g)
+        MVFPass()(g)
+        assert [s.tag for s in g.node("bn.stats").fwd_sweeps] == ["read_x_stats"]
+
+
+class TestRCF:
+    def test_relu_ghosted_and_conv_rewired(self):
+        g = chain_graph()
+        RCFPass()(g)
+        relu = g.node("relu")
+        assert relu.attrs["fused_into"] == "conv2"
+        assert relu.fwd_sweeps == [] and relu.bwd_sweeps == []
+        assert g.node("conv2").inputs == [g.node("bn").outputs[0]]
+        assert g.node("conv2").attrs["fused_relu"] == "relu"
+
+    def test_sweep_arithmetic(self):
+        """fwd: -2; bwd: -3 +1 mask read."""
+        g0, g1 = chain_graph(), chain_graph()
+        RCFPass()(g1)
+        f0, b0 = split_sweeps(g0, CHAIN)
+        f1, b1 = split_sweeps(g1, CHAIN)
+        assert f0 - f1 == 2
+        assert b0 - b1 == 2  # 3 removed, 1 added
+
+    def test_mask_read_targets_pre_relu_tensor(self):
+        g = chain_graph()
+        RCFPass()(g)
+        conv2 = g.node("conv2")
+        masks = [s for s in conv2.bwd_sweeps if s.tag == "read_mask_rcf"]
+        assert len(masks) == 1
+        assert masks[0].tensor == g.node("bn").outputs[0]
+        assert not masks[0].grad
+
+    def test_fanout_relu_not_fused(self):
+        """ResNet's post-EWS ReLU (two consumers) must be left alone."""
+        g = build_model("tiny_resnet", batch=2)
+        gg, _ = apply_scenario(g, "rcf")
+        kept = [n for n in gg.nodes_of_kind(OpKind.RELU)
+                if not n.attrs.get("fused_into") and "relu_out" in n.name]
+        assert kept, "post-EWS ReLUs should survive RCF"
+
+    def test_relu_before_pool_not_fused(self):
+        """DenseNet's stem ReLU feeds a pool, not a conv."""
+        g = build_model("tiny_densenet", batch=2)
+        gg, _ = apply_scenario(g, "rcf")
+        stem_relu = gg.node("stem/relu0")
+        assert not stem_relu.attrs.get("fused_into")
+
+
+class TestFusion:
+    def test_requires_fission(self):
+        g = chain_graph()
+        with pytest.raises(PassError):
+            FusionPass()(g)
+
+    def test_interior_chain_forward_10_to_4(self):
+        g0 = chain_graph()
+        g1, _ = apply_scenario(chain_graph(), "bnff")
+        f0, _ = split_sweeps(g0, CHAIN)
+        f1, _ = split_sweeps(g1, CHAIN_FISSIONED)
+        assert f0 == 10
+        assert f1 == 4
+
+    def test_interior_chain_backward_16_to_11(self):
+        """The paper's 'five memory sweeps removed per BN layer' (bwd)."""
+        g0 = chain_graph()
+        g1, _ = apply_scenario(chain_graph(), "bnff")
+        _, b0 = split_sweeps(g0, CHAIN)
+        _, b1 = split_sweeps(g1, CHAIN_FISSIONED)
+        assert b0 == 16
+        assert b1 == 11
+
+    def test_both_sublayers_ghosted_for_interior_bn(self):
+        g, _ = apply_scenario(chain_graph(), "bnff")
+        assert g.node("bn.stats").attrs["fused_into"] == "conv1"
+        assert g.node("bn.norm").attrs["fused_into"] == "conv2"
+
+    def test_conv2_reads_raw_bn_input(self):
+        g, _ = apply_scenario(chain_graph(), "bnff")
+        conv2 = g.node("conv2")
+        assert conv2.inputs == ["conv1.out"]
+        read_x = [s for s in conv2.fwd_sweeps if s.tag == "read_x"]
+        assert read_x[0].tensor == "conv1.out"
+
+    def test_conv1_backward_reads_bn_output_grad(self):
+        g, _ = apply_scenario(chain_graph(), "bnff")
+        conv1 = g.node("conv1")
+        dy_reads = [s for s in conv1.bwd_sweeps if s.tag.startswith("read_dy")]
+        assert all(s.tensor == "bn.out" and s.grad for s in dy_reads)
+
+    def test_boundary_bn_keeps_stats_and_input_grad(self):
+        """DenseNet's first-in-CPL BNs (Split predecessor) stay partial."""
+        g = build_model("tiny_densenet", batch=2)
+        gg, _ = apply_scenario(g, "bnff")
+        boundary = [
+            n for n in gg.nodes_of_kind(OpKind.BN_STATS)
+            if not n.attrs.get("fused_into")
+        ]
+        assert boundary, "boundary sub-BN1 layers must survive plain BNFF"
+        for n in boundary:
+            assert len(n.fwd_sweeps) == 1  # post-MVF single stats read
+            assert len(n.bwd_sweeps) == 3  # standalone input-grad pass
+
+    def test_ews_consumer_fusion_in_resnet(self):
+        """bn3 (followed by EWS) gets its normalize fused into the EWS."""
+        g = build_model("tiny_resnet", batch=2)
+        gg, _ = apply_scenario(g, "bnff")
+        ews_nodes = [n for n in gg.nodes_of_kind(OpKind.EWS)
+                     if n.attrs.get("fused_bn_norms")]
+        assert ews_nodes
+        # Every in-block BN_NORM is ghosted (conv or EWS consumer); only the
+        # stem BN (feeding ReLU -> maxpool) legitimately survives.
+        alive = [n.name for n in gg.nodes_of_kind(OpKind.BN_NORM)
+                 if not n.attrs.get("fused_into")]
+        assert alive == ["stem/bn0.norm"]
+
+
+class TestICF:
+    def test_requires_fission(self):
+        with pytest.raises(PassError):
+            ICFPass()(chain_graph())
+
+    def test_all_bn_stats_ghosted_in_densenet(self):
+        """With ICF, every BN sub-layer is fused — the paper's claim that
+        all BN memory accesses within CPLs are removed."""
+        g = build_model("tiny_densenet", batch=2)
+        gg, _ = apply_scenario(g, "bnff_icf")
+        alive_stats = [n for n in gg.nodes_of_kind(OpKind.BN_STATS)
+                       if not n.attrs.get("fused_into")]
+        assert alive_stats == []
+
+    def test_split_backward_gains_transform_read(self):
+        g = build_model("tiny_densenet", batch=2)
+        gg, _ = apply_scenario(g, "bnff_icf")
+        hosts = [n for n in gg.nodes_of_kind(OpKind.SPLIT)
+                 if n.attrs.get("icf_input_grad")]
+        assert hosts
+        for h in hosts:
+            assert any(s.tag == "read_xbn_icf" for s in h.bwd_sweeps)
+
+    def test_icf_noop_on_resnet(self):
+        """ResNet has no Concat/Split-fed BNs; ICF must change nothing."""
+        g = build_model("tiny_resnet", batch=2)
+        bnff, _ = apply_scenario(g, "bnff")
+        icf, _ = apply_scenario(g, "bnff_icf")
+        assert bnff.sweep_count() == icf.sweep_count()
+
+
+class TestScenarios:
+    def test_unknown_scenario_raises(self):
+        with pytest.raises(PassError):
+            scenario_passes("nope")
+
+    def test_apply_scenario_does_not_mutate_input(self):
+        g = chain_graph()
+        before = g.sweep_count()
+        apply_scenario(g, "bnff")
+        assert g.sweep_count() == before
+
+    def test_monotone_sweep_reduction(self):
+        """Each scenario removes at least as much as its predecessor."""
+        g = build_model("tiny_densenet", batch=2)
+        counts = [apply_scenario(g, sc)[0].sweep_count() for sc in SCENARIO_ORDER]
+        assert counts == sorted(counts, reverse=True)
+        assert counts[0] > counts[-1]
+
+    def test_pass_manager_runs_in_order(self):
+        g = chain_graph()
+        results = PassManager(scenario_passes("bnff")).run(g)
+        assert [r.pass_name for r in results] == ["fission", "mvf", "rcf", "fusion"]
+
+    def test_validation_after_every_scenario(self):
+        g = build_model("tiny_densenet", batch=2)
+        for sc in SCENARIO_ORDER:
+            gg, _ = apply_scenario(g, sc)
+            gg.validate()  # must not raise
+
+    def test_no_bn_model_unaffected(self):
+        g = build_model("alexnet", batch=2, image=(3, 224, 224))
+        gg, _ = apply_scenario(g, "bnff")
+        # AlexNet's ReLUs feed pools/FCs except conv3->conv4->conv5 chain.
+        assert gg.nodes_of_kind(OpKind.BN) == []
+        assert gg.nodes_of_kind(OpKind.BN_STATS) == []

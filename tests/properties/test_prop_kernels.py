@@ -1,0 +1,135 @@
+"""Property-based tests (hypothesis): fused kernels == reference, for
+arbitrary shapes and data — the statistical form of the paper's
+correctness claim."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.kernels import (
+    assert_fused_equal,
+    bn_input_grad_transform,
+    chunked_onepass_stats,
+    onepass_stats,
+    relu_conv_backward,
+    relu_conv_forward,
+    twopass_stats,
+)
+from repro.nn import BatchNorm2d, Conv2d, ReLU
+
+
+def nchw_arrays(max_n=6, max_c=6, max_hw=8, elements=None):
+    """Strategy: NCHW float32 arrays with bounded, well-conditioned values."""
+    elements = elements or st.floats(
+        min_value=-10.0, max_value=10.0, allow_nan=False, width=32
+    )
+    shapes = st.tuples(
+        st.integers(2, max_n), st.integers(1, max_c),
+        st.integers(2, max_hw), st.integers(2, max_hw),
+    )
+    return shapes.flatmap(
+        lambda s: st.builds(
+            lambda flat: np.array(flat, dtype=np.float32).reshape(s),
+            st.lists(elements, min_size=int(np.prod(s)),
+                     max_size=int(np.prod(s))),
+        )
+    )
+
+
+class TestStatsProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(x=nchw_arrays())
+    def test_onepass_equals_twopass(self, x):
+        m1, v1 = onepass_stats(x)
+        m2, v2 = twopass_stats(x)
+        np.testing.assert_allclose(m1, m2, rtol=1e-5, atol=1e-5)
+        np.testing.assert_allclose(v1, v2, rtol=1e-3, atol=1e-4)
+
+    @settings(max_examples=30, deadline=None)
+    @given(x=nchw_arrays(), chunk=st.integers(1, 8))
+    def test_chunking_invariant(self, x, chunk):
+        """Partial-sum reduction order must not change the statistics."""
+        m1, v1 = onepass_stats(x)
+        m2, v2 = chunked_onepass_stats(x, chunk=chunk)
+        np.testing.assert_allclose(m1, m2, rtol=1e-5, atol=1e-6)
+        np.testing.assert_allclose(v1, v2, rtol=1e-4, atol=1e-5)
+
+    @settings(max_examples=30, deadline=None)
+    @given(x=nchw_arrays())
+    def test_variance_nonnegative(self, x):
+        _, v = onepass_stats(x)
+        assert np.all(v >= 0.0)
+
+    @settings(max_examples=30, deadline=None)
+    @given(x=nchw_arrays(), shift=st.floats(-100.0, 100.0, allow_nan=False))
+    def test_variance_shift_invariant(self, x, shift):
+        """Var(X + c) == Var(X): the E(X^2)-E(X)^2 form must not break it
+        for moderate shifts (fp64 accumulation absorbs cancellation)."""
+        _, v0 = onepass_stats(x)
+        _, v1 = onepass_stats((x + np.float32(shift)).astype(np.float32))
+        np.testing.assert_allclose(v0, v1, rtol=1e-2, atol=1e-2)
+
+
+class TestBnTransformProperties:
+    @settings(max_examples=20, deadline=None)
+    @given(x=nchw_arrays(max_c=4), data=st.data())
+    def test_transform_matches_reference_backward(self, x, data):
+        c = x.shape[1]
+        dy_flat = data.draw(
+            st.lists(st.floats(-5.0, 5.0, allow_nan=False, width=32),
+                     min_size=x.size, max_size=x.size)
+        )
+        dy = np.array(dy_flat, dtype=np.float32).reshape(x.shape)
+
+        bn = BatchNorm2d(c)
+        bn(x)
+        dx_ref = bn.backward(dy)
+        mean, var = bn.saved_stats()
+        dx = bn_input_grad_transform(
+            dy, x, mean, var, bn.gamma.data, bn.gamma.grad, bn.beta.grad, bn.eps
+        )
+        np.testing.assert_allclose(dx, dx_ref, rtol=1e-3, atol=1e-4)
+
+    @settings(max_examples=20, deadline=None)
+    @given(x=nchw_arrays(max_c=4))
+    def test_input_gradient_sums_to_zero(self, x):
+        """BN's per-channel input gradients sum to ~0 — a structural
+        invariant of normalization that fusion must preserve."""
+        bn = BatchNorm2d(x.shape[1])
+        bn(x)
+        dy = np.ones_like(x)
+        dx = bn.backward(dy)
+        scale = max(float(np.abs(dx).max()), 1.0)
+        np.testing.assert_allclose(
+            dx.sum(axis=(0, 2, 3)) / scale, 0.0, atol=1e-2
+        )
+
+
+class TestRcfProperties:
+    @settings(max_examples=15, deadline=None)
+    @given(x=nchw_arrays(max_n=4, max_c=4, max_hw=6),
+           seed=st.integers(0, 2**16))
+    def test_rcf_forward_equivalence(self, x, seed):
+        cin = x.shape[1]
+        conv_a = Conv2d(cin, 3, 3, padding=1, seed=seed)
+        conv_b = Conv2d(cin, 3, 3, padding=1, seed=seed)
+        relu = ReLU()
+        y_ref = conv_a(relu(x))
+        y = relu_conv_forward(x, conv_b)
+        assert_fused_equal(y, y_ref, "rcf property fwd")
+
+    @settings(max_examples=15, deadline=None)
+    @given(x=nchw_arrays(max_n=4, max_c=4, max_hw=6),
+           seed=st.integers(0, 2**16))
+    def test_rcf_backward_equivalence(self, x, seed):
+        cin = x.shape[1]
+        conv_a = Conv2d(cin, 3, 3, padding=1, seed=seed)
+        conv_b = Conv2d(cin, 3, 3, padding=1, seed=seed)
+        relu = ReLU()
+        y = conv_a(relu(x))
+        dy = np.ones_like(y)
+        dx_ref = relu.backward(conv_a.backward(dy))
+        relu_conv_forward(x, conv_b)
+        dx, _ = relu_conv_backward(x, dy, conv_b)
+        assert_fused_equal(dx, dx_ref, "rcf property bwd")
+        assert_fused_equal(conv_b.weight.grad, conv_a.weight.grad,
+                           "rcf property dW")

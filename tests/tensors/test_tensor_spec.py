@@ -1,0 +1,82 @@
+"""Unit tests for TensorSpec: sizing, kinds, validation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.tensors import TensorKind, TensorSpec
+
+
+class TestConstruction:
+    def test_basic_feature_spec(self):
+        t = TensorSpec("x", (2, 3, 4, 5))
+        assert t.kind is TensorKind.FEATURE
+        assert t.dtype == np.dtype(np.float32)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ShapeError):
+            TensorSpec("", (1,))
+
+    def test_zero_dim_rejected(self):
+        with pytest.raises(ShapeError):
+            TensorSpec("x", (2, 0, 4, 5))
+
+    def test_negative_dim_rejected(self):
+        with pytest.raises(ShapeError):
+            TensorSpec("x", (2, -1))
+
+    def test_empty_shape_rejected(self):
+        with pytest.raises(ShapeError):
+            TensorSpec("x", ())
+
+    def test_dtype_normalized(self):
+        t = TensorSpec("x", (4,), dtype=np.float64)
+        assert t.dtype == np.dtype(np.float64)
+
+
+class TestSizing:
+    def test_num_elements(self):
+        assert TensorSpec("x", (2, 3, 4, 5)).num_elements == 120
+
+    def test_size_bytes_fp32(self):
+        assert TensorSpec("x", (2, 3, 4, 5)).size_bytes == 480
+
+    def test_size_bytes_fp64(self):
+        assert TensorSpec("x", (10,), dtype=np.float64).size_bytes == 80
+
+    def test_paper_scale_feature_map_is_hundreds_of_mb(self):
+        # 120 images x 256 channels x 56x56 fp32: the "cannot fit in on-chip
+        # buffers" premise of Section 3.1.
+        t = TensorSpec("x", (120, 256, 56, 56))
+        assert t.size_bytes > 300 * (1 << 20)
+
+
+class TestNchwAccessors:
+    def test_batch_channels_spatial(self):
+        t = TensorSpec("x", (8, 16, 32, 33))
+        assert t.batch == 8
+        assert t.channels == 16
+        assert t.spatial == (32, 33)
+
+    def test_non_4d_accessor_raises(self):
+        with pytest.raises(ShapeError):
+            TensorSpec("x", (8, 16)).channels
+
+
+class TestDerivedSpecs:
+    def test_with_name(self):
+        t = TensorSpec("x", (2, 3, 4, 5), kind=TensorKind.WEIGHT)
+        u = t.with_name("y")
+        assert u.name == "y"
+        assert u.shape == t.shape
+        assert u.kind is TensorKind.WEIGHT
+
+    def test_grad_spec_suffix_and_shape(self):
+        g = TensorSpec("x", (2, 3)).grad_spec()
+        assert g.name == "x.grad"
+        assert g.shape == (2, 3)
+
+    def test_frozen(self):
+        t = TensorSpec("x", (2,))
+        with pytest.raises(Exception):
+            t.name = "y"

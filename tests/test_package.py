@@ -1,0 +1,65 @@
+"""Package-level checks: metadata, config, error hierarchy, public API."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro import config, errors
+
+
+class TestPackage:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_public_subpackages_import(self):
+        import repro.analysis
+        import repro.experiments
+        import repro.graph
+        import repro.hw
+        import repro.kernels
+        import repro.models
+        import repro.nn
+        import repro.passes
+        import repro.perf
+        import repro.tensors
+        import repro.train
+
+
+class TestConfig:
+    def test_default_dtype_is_fp32(self):
+        assert np.dtype(config.DEFAULT_DTYPE) == np.dtype(np.float32)
+
+    def test_dtype_bytes(self):
+        assert config.dtype_bytes(np.float32) == 4
+        assert config.dtype_bytes(np.float64) == 8
+        with pytest.raises(KeyError):
+            config.dtype_bytes(np.int32)
+
+    def test_rng_default_seed_reproducible(self):
+        a = config.rng().normal(size=4)
+        b = config.rng().normal(size=4)
+        np.testing.assert_array_equal(a, b)
+
+    def test_rng_custom_seed(self):
+        a = config.rng(1).normal(size=4)
+        b = config.rng(2).normal(size=4)
+        assert not np.array_equal(a, b)
+
+
+class TestErrors:
+    def test_hierarchy_roots_at_repro_error(self):
+        for exc in (errors.ShapeError, errors.GraphError, errors.PassError,
+                    errors.ExecutionError, errors.HardwareSpecError,
+                    errors.SimulationError):
+            assert issubclass(exc, errors.ReproError)
+
+    def test_value_error_compatibility(self):
+        """Shape/spec errors double as ValueError for generic callers."""
+        assert issubclass(errors.ShapeError, ValueError)
+        assert issubclass(errors.HardwareSpecError, ValueError)
+
+    def test_single_except_catches_everything(self):
+        from repro.models import build_model
+
+        with pytest.raises(errors.ReproError):
+            build_model("no_such_model")

@@ -1,0 +1,171 @@
+"""Executor plumbing, optimizer, synthetic data, trainer."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ExecutionError
+from repro.models import build_model
+from repro.nn.module import Parameter
+from repro.passes import apply_scenario
+from repro.train import (
+    GraphExecutor,
+    SGD,
+    SyntheticClassification,
+    Trainer,
+    synthetic_batch,
+)
+
+
+class TestExecutorBasics:
+    def test_forward_returns_finite_loss(self):
+        g = build_model("tiny_cnn", batch=4)
+        ex = GraphExecutor(g, seed=0)
+        x, y = synthetic_batch(4, (3, 16, 16), 10, seed=0)
+        loss = ex.forward(x, y)
+        assert np.isfinite(loss) and loss > 0
+
+    def test_same_seed_same_weights(self):
+        g = build_model("tiny_cnn", batch=4)
+        a, b = GraphExecutor(g, seed=5), GraphExecutor(g, seed=5)
+        sa, sb = a.state_dict(), b.state_dict()
+        assert set(sa) == set(sb)
+        for k in sa:
+            np.testing.assert_array_equal(sa[k], sb[k])
+
+    def test_different_seed_different_weights(self):
+        g = build_model("tiny_cnn", batch=4)
+        sa = GraphExecutor(g, seed=1).state_dict()
+        sb = GraphExecutor(g, seed=2).state_dict()
+        assert any(not np.array_equal(sa[k], sb[k]) for k in sa)
+
+    def test_restructured_graph_same_parameter_names(self):
+        g = build_model("tiny_densenet", batch=2)
+        gg, _ = apply_scenario(g, "bnff_icf")
+        ref_names = set(GraphExecutor(g, seed=0).state_dict())
+        fused_names = set(GraphExecutor(gg, seed=0).state_dict())
+        assert ref_names == fused_names
+
+    def test_backward_returns_input_gradient(self):
+        g = build_model("tiny_cnn", batch=4)
+        ex = GraphExecutor(g, seed=0)
+        x, y = synthetic_batch(4, (3, 16, 16), 10, seed=1)
+        ex.forward(x, y)
+        din = ex.backward()
+        assert din.shape == x.shape
+        assert np.isfinite(din).all()
+
+    def test_state_dict_roundtrip(self):
+        g = build_model("tiny_cnn", batch=4)
+        ex = GraphExecutor(g, seed=0)
+        state = ex.state_dict()
+        for p in ex.parameters():
+            p.data += 1.0
+        ex.load_state_dict(state)
+        for k, v in ex.state_dict().items():
+            np.testing.assert_array_equal(v, state[k])
+
+    def test_load_state_dict_strict(self):
+        g = build_model("tiny_cnn", batch=4)
+        ex = GraphExecutor(g, seed=0)
+        with pytest.raises(ExecutionError):
+            ex.load_state_dict({"bogus": np.zeros(1)})
+
+    def test_gradient_inspection(self):
+        g = build_model("tiny_cnn", batch=4)
+        ex = GraphExecutor(g, seed=0)
+        x, y = synthetic_batch(4, (3, 16, 16), 10, seed=2)
+        ex.forward(x, y)
+        ex.backward()
+        gr = ex.gradient_of("body/conv1.out")
+        assert gr.shape == (4, 8, 16, 16)
+        with pytest.raises(ExecutionError):
+            ex.gradient_of("nope")
+
+
+class TestSGD:
+    def test_plain_sgd_step(self):
+        p = Parameter(np.array([1.0, 2.0]))
+        p.accumulate_grad(np.array([0.5, 0.5]))
+        SGD([p], lr=0.1, momentum=0.0).step()
+        np.testing.assert_allclose(p.data, [0.95, 1.95])
+
+    def test_momentum_accumulates(self):
+        p = Parameter(np.array([0.0]))
+        opt = SGD([p], lr=1.0, momentum=0.5)
+        p.accumulate_grad(np.array([1.0]))
+        opt.step()  # v=1, w=-1
+        p.zero_grad()
+        p.accumulate_grad(np.array([1.0]))
+        opt.step()  # v=1.5, w=-2.5
+        np.testing.assert_allclose(p.data, [-2.5])
+
+    def test_weight_decay(self):
+        p = Parameter(np.array([2.0]))
+        p.accumulate_grad(np.array([0.0]))
+        SGD([p], lr=0.1, momentum=0.0, weight_decay=0.5).step()
+        np.testing.assert_allclose(p.data, [2.0 - 0.1 * 1.0])
+
+    def test_none_grad_skipped(self):
+        p = Parameter(np.array([1.0]))
+        SGD([p], lr=0.1).step()
+        np.testing.assert_allclose(p.data, [1.0])
+
+    def test_validation(self):
+        p = Parameter(np.zeros(1))
+        with pytest.raises(ExecutionError):
+            SGD([p], lr=-1)
+        with pytest.raises(ExecutionError):
+            SGD([p], momentum=1.5)
+        with pytest.raises(ExecutionError):
+            SGD([])
+
+
+class TestData:
+    def test_synthetic_batch_seeded(self):
+        a = synthetic_batch(4, (3, 8, 8), 10, seed=3)
+        b = synthetic_batch(4, (3, 8, 8), 10, seed=3)
+        np.testing.assert_array_equal(a[0], b[0])
+        np.testing.assert_array_equal(a[1], b[1])
+
+    def test_labels_in_range(self):
+        _, y = synthetic_batch(100, (1, 2, 2), 7, seed=0)
+        assert y.min() >= 0 and y.max() < 7
+
+    def test_classification_task_is_learnable_signal(self):
+        ds = SyntheticClassification(image=(3, 8, 8), num_classes=3, noise=0.1)
+        x, y = ds.batch(32, seed=0)
+        # Samples sit near their class means.
+        def dist(means):
+            return np.sqrt(((x - means) ** 2).sum(axis=(1, 2, 3))).mean()
+        assert dist(ds.class_means[y]) < dist(ds.class_means[(y + 1) % 3])
+
+    def test_batches_iterator(self):
+        ds = SyntheticClassification(image=(3, 4, 4), num_classes=2)
+        batches = list(ds.batches(4, 3))
+        assert len(batches) == 3
+        assert batches[0][0].shape == (4, 3, 4, 4)
+
+    def test_bad_classes_rejected(self):
+        with pytest.raises(ExecutionError):
+            SyntheticClassification(num_classes=1)
+
+
+class TestTrainer:
+    def test_loss_decreases_on_learnable_task(self):
+        g = build_model("tiny_cnn", batch=8)
+        ds = SyntheticClassification(image=(3, 16, 16), num_classes=10,
+                                     noise=0.3, seed=1)
+        trainer = Trainer(GraphExecutor(g, seed=0), ds, lr=0.05)
+        steps = trainer.run(25, batch_size=8)
+        first5 = np.mean([s.loss for s in steps[:5]])
+        last5 = np.mean([s.loss for s in steps[-5:]])
+        assert last5 < first5 - 0.3
+
+    def test_history_recorded(self):
+        g = build_model("tiny_cnn", batch=4)
+        ds = SyntheticClassification(image=(3, 16, 16), num_classes=10)
+        trainer = Trainer(GraphExecutor(g, seed=0), ds)
+        trainer.run(3, batch_size=4)
+        assert len(trainer.history) == 3
+        assert trainer.final_loss() == trainer.history[-1].loss
+        assert all(s.grad_norm > 0 for s in trainer.history)

@@ -14,6 +14,7 @@ Each module corresponds to a family of paper artifacts:
 
 from repro.analysis.breakdown import (
     model_breakdown,
+    breakdown_from_cost,
     breakdown_table,
     architecture_comparison,
 )
@@ -21,6 +22,7 @@ from repro.analysis.scenarios import (
     ScenarioResult,
     compare_scenarios,
     paper_style_icf_estimate,
+    scenario_results_from_costs,
 )
 from repro.analysis.bandwidth import (
     infinite_bandwidth_speedup,
@@ -42,11 +44,13 @@ from repro.analysis.roofline import roofline_points, ridge_point, mean_intensity
 
 __all__ = [
     "model_breakdown",
+    "breakdown_from_cost",
     "breakdown_table",
     "architecture_comparison",
     "ScenarioResult",
     "compare_scenarios",
     "paper_style_icf_estimate",
+    "scenario_results_from_costs",
     "infinite_bandwidth_speedup",
     "bandwidth_sweep",
     "format_table",

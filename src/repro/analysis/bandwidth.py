@@ -40,6 +40,11 @@ class InfiniteBandwidthResult:
         return self.finite_s / self.infinite_s if self.infinite_s else float("inf")
 
 
+def kind_time(cost: IterationCost, kinds: FrozenSet[OpKind] = FIG4_KINDS) -> float:
+    """Total time spent in nodes of the given kinds (Figure 4's bars)."""
+    return sum(n.time_s for n in cost.nodes if n.kind in kinds)
+
+
 def infinite_bandwidth_speedup(
     model: str,
     hw: HardwareSpec,
@@ -55,14 +60,11 @@ def infinite_bandwidth_speedup(
     finite = simulate(graph, hw)
     infinite = simulate(graph, hw, infinite_bw_kinds=kinds)
 
-    def kind_time(cost: IterationCost) -> float:
-        return sum(n.time_s for n in cost.nodes if n.kind in kinds)
-
     return InfiniteBandwidthResult(
         model=model,
         hardware=hw.name,
-        finite_s=kind_time(finite),
-        infinite_s=kind_time(infinite),
+        finite_s=kind_time(finite, kinds),
+        infinite_s=kind_time(infinite, kinds),
     )
 
 

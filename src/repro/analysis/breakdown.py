@@ -40,10 +40,10 @@ def model_breakdown(model: str, hw: HardwareSpec, batch: int = 120,
     """Simulate one model's baseline iteration and split its time."""
     graph = build_model(model, batch=batch, **model_kwargs)
     cost = simulate(graph, hw)
-    return _from_cost(cost)
+    return breakdown_from_cost(cost)
 
 
-def _from_cost(cost: IterationCost) -> Breakdown:
+def breakdown_from_cost(cost: IterationCost) -> Breakdown:
     return Breakdown(
         model=cost.model,
         hardware=cost.hardware,
@@ -72,5 +72,5 @@ def architecture_comparison(
     out = []
     for hw, batch in configs:
         graph = build_model(model, batch=batch)
-        out.append(_from_cost(simulate(graph, hw)))
+        out.append(breakdown_from_cost(simulate(graph, hw)))
     return out

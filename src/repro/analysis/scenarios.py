@@ -40,27 +40,25 @@ class ScenarioResult:
         return self.cost.total_time_s
 
 
-def compare_scenarios(
-    model: str,
-    hw: HardwareSpec,
-    batch: int = 120,
-    scenarios: Sequence[str] = SCENARIO_ORDER,
-    **model_kwargs,
+def scenario_results_from_costs(
+    costs: Sequence[IterationCost],
 ) -> List[ScenarioResult]:
-    """Simulate *model* under each scenario; first entry is the baseline."""
-    graph = build_model(model, batch=batch, **model_kwargs)
+    """Turn per-scenario costs into gain records; the first is the baseline.
+
+    Shared by :func:`compare_scenarios` (the reference serial loop) and
+    the sweep-engine experiments, so both paths report byte-identical
+    gains from the same costs.
+    """
     results: List[ScenarioResult] = []
     baseline: IterationCost | None = None
-    for name in scenarios:
-        g, _ = apply_scenario(graph, name)
-        cost = simulate(g, hw, scenario=name)
+    for cost in costs:
         if baseline is None:
             baseline = cost
-            results.append(ScenarioResult(name, cost, 0.0, 0.0, 0.0, 0.0))
+            results.append(ScenarioResult(cost.scenario, cost, 0.0, 0.0, 0.0, 0.0))
             continue
         results.append(
             ScenarioResult(
-                scenario=name,
+                scenario=cost.scenario,
                 cost=cost,
                 total_gain=1.0 - cost.total_time_s / baseline.total_time_s,
                 fwd_gain=1.0 - cost.fwd_time_s / baseline.fwd_time_s,
@@ -76,6 +74,22 @@ def compare_scenarios(
             )
         )
     return results
+
+
+def compare_scenarios(
+    model: str,
+    hw: HardwareSpec,
+    batch: int = 120,
+    scenarios: Sequence[str] = SCENARIO_ORDER,
+    **model_kwargs,
+) -> List[ScenarioResult]:
+    """Simulate *model* under each scenario; first entry is the baseline."""
+    graph = build_model(model, batch=batch, **model_kwargs)
+    costs = []
+    for name in scenarios:
+        g, _ = apply_scenario(graph, name)
+        costs.append(simulate(g, hw, scenario=name))
+    return scenario_results_from_costs(costs)
 
 
 def paper_style_icf_estimate(results: Sequence[ScenarioResult]) -> float:

@@ -34,3 +34,7 @@ class HardwareSpecError(ReproError, ValueError):
 
 class SimulationError(ReproError):
     """The performance simulator was asked something it cannot answer."""
+
+
+class SweepSpecError(ReproError, ValueError):
+    """A sweep grid declaration references unknown axes or axis values."""

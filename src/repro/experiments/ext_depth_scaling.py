@@ -23,15 +23,21 @@ from dataclasses import dataclass
 from typing import List
 
 from repro.analysis.tables import format_table
-from repro.hw.presets import SKYLAKE_2S
-from repro.models.registry import build_model
-from repro.passes.scenarios import apply_scenario
 from repro.perf.report import speedup
-from repro.perf.simulator import simulate
+from repro.sweep import SweepSpec, run_sweep
 
 MODELS = (
     "resnet18", "resnet34", "resnet50", "resnet101",
     "densenet121", "densenet169", "densenet201",
+)
+
+#: The whole zoo, baseline vs BNFF, one shared batch.
+GRID = SweepSpec(
+    name="ext_depth_scaling",
+    models=MODELS,
+    hardware=("skylake_2s",),
+    scenarios=("baseline", "bnff"),
+    batches=(60,),
 )
 
 PAPER = {
@@ -61,12 +67,11 @@ class DepthScalingResult:
 
 def run(batch: int = 60) -> DepthScalingResult:
     """Sweep the zoo at a shared batch (60 keeps the deepest nets fast)."""
+    store = run_sweep(GRID.subset(batch=batch))
     points = []
-    for model in MODELS:
-        graph = build_model(model, batch=batch)
-        restructured, _ = apply_scenario(graph, "bnff")
-        base = simulate(graph, SKYLAKE_2S)
-        fused = simulate(restructured, SKYLAKE_2S, scenario="bnff")
+    for model, sub in store.group_by("model").items():
+        base = sub.cost(scenario="baseline")
+        fused = sub.cost(scenario="bnff")
         points.append(DepthPoint(
             model=model,
             non_conv_share=base.non_conv_share(),

@@ -15,12 +15,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List
 
-from repro.analysis.scenarios import ScenarioResult, compare_scenarios
+from repro.analysis.scenarios import ScenarioResult, scenario_results_from_costs
 from repro.analysis.tables import format_table
-from repro.hw.presets import SKYLAKE_2S
-from repro.models.registry import build_model
-from repro.passes.scenarios import apply_scenario
 from repro.perf.footprint import footprint_savings
+from repro.sweep import GraphCache, SweepSpec, run_sweep
 
 #: Not in the paper — our own predictions, pinned by the bench for
 #: regression detection.
@@ -30,6 +28,25 @@ PAPER = {
 }
 
 SCENARIOS = ("baseline", "rcf", "rcf_mvf", "bnff")
+
+#: MobileNet under every scenario, plus the DenseNet reference pair the
+#: headline comparison needs — two specs, one sweep.
+GRIDS = (
+    SweepSpec(
+        name="ext_mobilenet",
+        models=("mobilenet_v1",),
+        hardware=("skylake_2s",),
+        scenarios=SCENARIOS,
+        batches=(120,),
+    ),
+    SweepSpec(
+        name="ext_mobilenet/densenet_ref",
+        models=("densenet121",),
+        hardware=("skylake_2s",),
+        scenarios=("baseline", "bnff"),
+        batches=(120,),
+    ),
+)
 
 
 @dataclass(frozen=True)
@@ -46,12 +63,17 @@ class MobilenetResult:
 
 
 def run(batch: int = 120) -> MobilenetResult:
-    results = compare_scenarios("mobilenet_v1", SKYLAKE_2S, batch=batch,
-                                scenarios=SCENARIOS)
-    densenet = compare_scenarios("densenet121", SKYLAKE_2S, batch=batch,
-                                 scenarios=("baseline", "bnff"))
-    graph = build_model("mobilenet_v1", batch=batch)
-    restructured, _ = apply_scenario(graph, "bnff")
+    cache = GraphCache()
+    store = run_sweep([g.subset(batch=batch) for g in GRIDS], cache=cache)
+    results = scenario_results_from_costs(
+        store.filter(model="mobilenet_v1").costs()
+    )
+    densenet = scenario_results_from_costs(
+        store.filter(model="densenet121").costs()
+    )
+    # The footprint comparison reuses the cache's already-built graphs.
+    graph = cache.base_graph("mobilenet_v1", batch)
+    restructured = cache.scenario_graph("mobilenet_v1", batch, "bnff")
     return MobilenetResult(
         results=results,
         densenet_bnff_gain=densenet[-1].total_gain,

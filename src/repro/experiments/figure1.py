@@ -10,12 +10,21 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List
 
-from repro.analysis.breakdown import Breakdown, breakdown_table
+from repro.analysis.breakdown import Breakdown, breakdown_from_cost
 from repro.analysis.tables import format_table
-from repro.hw.presets import SKYLAKE_2S
+from repro.sweep import SweepSpec, run_sweep
 
 #: Models in the paper's oldest-to-newest order.
 MODELS = ("alexnet", "vgg16", "resnet50", "densenet121")
+
+#: The figure's grid: every model, baseline scenario, Skylake, batch 120.
+GRID = SweepSpec(
+    name="figure1",
+    models=MODELS,
+    hardware=("skylake_2s",),
+    scenarios=("baseline",),
+    batches=(120,),
+)
 
 #: Paper's qualitative anchors (shares of total execution time).
 PAPER = {
@@ -36,8 +45,9 @@ class Figure1Result:
 
 
 def run(batch: int = 120) -> Figure1Result:
-    """Simulate the baseline breakdown for every Figure 1 model."""
-    return Figure1Result(breakdown_table(MODELS, SKYLAKE_2S, batch=batch))
+    """Price the Figure 1 grid through the sweep engine."""
+    store = run_sweep(GRID.subset(batch=batch))
+    return Figure1Result([breakdown_from_cost(c) for c in store.costs()])
 
 
 def render(result: Figure1Result) -> str:

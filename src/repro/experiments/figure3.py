@@ -16,14 +16,22 @@ import numpy as np
 from repro.analysis.tables import format_figure_series
 from repro.graph.node import CONV_LIKE
 from repro.hw.presets import SKYLAKE_2S
-from repro.models.registry import build_model
-from repro.perf.simulator import simulate
 from repro.perf.timeline import TimelineSegment, iteration_timeline
+from repro.sweep import SweepSpec, run_sweep
 
 PAPER = {
     "peak_bandwidth_gbs": 230.4,
     "conv_bandwidth_max_gbs": 120.0,  # "only up to 120GB/s"
 }
+
+#: Single-cell grid: the baseline DenseNet-121 iteration the timeline slices.
+GRID = SweepSpec(
+    name="figure3",
+    models=("densenet121",),
+    hardware=("skylake_2s",),
+    scenarios=("baseline",),
+    batches=(120,),
+)
 
 
 @dataclass(frozen=True)
@@ -49,8 +57,7 @@ class Figure3Result:
 
 
 def run(batch: int = 120) -> Figure3Result:
-    graph = build_model("densenet121", batch=batch)
-    cost = simulate(graph, SKYLAKE_2S)
+    cost = run_sweep(GRID.subset(batch=batch)).rows[0].cost
     return Figure3Result(
         segments=iteration_timeline(cost),
         peak_bandwidth_gbs=SKYLAKE_2S.dram_bandwidth / 1e9,

@@ -8,17 +8,33 @@ excluded because their reference cost is a removable memory copy.
 
 from __future__ import annotations
 
-from repro.analysis.bandwidth import InfiniteBandwidthResult, infinite_bandwidth_speedup
+from repro.analysis.bandwidth import InfiniteBandwidthResult, kind_time
 from repro.analysis.tables import format_table
-from repro.hw.presets import SKYLAKE_2S
+from repro.sweep import SweepSpec, run_sweep
 
 PAPER = {
     "speedup": 20.0,
 }
 
+#: The infinite-bandwidth axis *is* the figure: one cell per bar.
+GRID = SweepSpec(
+    name="figure4",
+    models=("densenet121",),
+    hardware=("skylake_2s",),
+    scenarios=("baseline",),
+    batches=(120,),
+    infinite_bw=(False, True),
+)
+
 
 def run(batch: int = 120) -> InfiniteBandwidthResult:
-    return infinite_bandwidth_speedup("densenet121", SKYLAKE_2S, batch=batch)
+    store = run_sweep(GRID.subset(batch=batch))
+    return InfiniteBandwidthResult(
+        model="densenet121",
+        hardware="skylake_2s",
+        finite_s=kind_time(store.cost(infinite_bw=False)),
+        infinite_s=kind_time(store.cost(infinite_bw=True)),
+    )
 
 
 def render(result: InfiniteBandwidthResult) -> str:

@@ -12,16 +12,29 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Tuple
 
-from repro.analysis.breakdown import Breakdown, architecture_comparison
+from repro.analysis.breakdown import Breakdown, breakdown_from_cost
 from repro.analysis.tables import format_table
-from repro.hw.presets import KNIGHTS_LANDING, PASCAL_TITAN_X, SKYLAKE_2S
-from repro.hw.spec import HardwareSpec
+from repro.sweep import SweepSpec, run_sweep
 
-#: (hardware, mini-batch) in the paper's order; GPU batch is capacity-bound.
-CONFIGS: Tuple[Tuple[HardwareSpec, int], ...] = (
-    (PASCAL_TITAN_X, 28),
-    (KNIGHTS_LANDING, 128),
-    (SKYLAKE_2S, 120),
+#: (hardware preset, mini-batch) in the paper's order; GPU batch is
+#: capacity-bound.
+CONFIGS: Tuple[Tuple[str, int], ...] = (
+    ("pascal_titan_x", 28),
+    ("knights_landing", 128),
+    ("skylake_2s", 120),
+)
+
+#: Not a cross product (each architecture has its own batch), so the
+#: figure declares one single-cell spec per leg.
+GRIDS: Tuple[SweepSpec, ...] = tuple(
+    SweepSpec(
+        name=f"figure6/{hw}",
+        models=("densenet121",),
+        hardware=(hw,),
+        scenarios=("baseline",),
+        batches=(batch,),
+    )
+    for hw, batch in CONFIGS
 )
 
 PAPER = {
@@ -40,7 +53,8 @@ class Figure6Result:
 
 
 def run() -> Figure6Result:
-    return Figure6Result(architecture_comparison("densenet121", CONFIGS))
+    store = run_sweep(GRIDS)
+    return Figure6Result([breakdown_from_cost(c) for c in store.costs()])
 
 
 def render(result: Figure6Result) -> str:

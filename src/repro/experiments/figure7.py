@@ -26,12 +26,13 @@ from typing import Dict, List
 
 from repro.analysis.scenarios import (
     ScenarioResult,
-    compare_scenarios,
     paper_style_icf_estimate,
+    scenario_results_from_costs,
 )
 from repro.analysis.tables import format_table
 from repro.graph.node import OpKind
-from repro.hw.presets import SKYLAKE_2S
+from repro.passes.scenarios import SCENARIO_ORDER
+from repro.sweep import SweepSpec, run_sweep
 
 PAPER = {
     "densenet121": {
@@ -63,10 +64,21 @@ class Figure7Result:
         return base.dram_bytes_by_kind().get(OpKind.RELU, 0) / base.dram_bytes
 
 
+#: The headline grid: both evaluated models under every scenario.
+GRID = SweepSpec(
+    name="figure7",
+    models=("densenet121", "resnet50"),
+    hardware=("skylake_2s",),
+    scenarios=SCENARIO_ORDER,
+    batches=(120,),
+)
+
+
 def run(batch: int = 120) -> Figure7Result:
+    store = run_sweep(GRID.subset(batch=batch))
     results = {
-        model: compare_scenarios(model, SKYLAKE_2S, batch=batch)
-        for model in ("densenet121", "resnet50")
+        model: scenario_results_from_costs(store.filter(model=model).costs())
+        for model in GRID.models
     }
     return Figure7Result(
         results=results,

@@ -12,11 +12,26 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List
 
-from repro.analysis.bandwidth import BandwidthPoint, bandwidth_sweep
+from repro.analysis.bandwidth import BandwidthPoint
 from repro.analysis.tables import format_table
-from repro.hw.presets import SKYLAKE_2S
+from repro.sweep import SweepSpec, run_sweep
 
-BANDWIDTHS_GBS = (230.4, 115.2)
+#: (bandwidth, preset) legs: the half-rate machine is the frozen
+#: ``skylake_2s_half_bw`` preset (Figure 8's down-clocked DDR4 channels).
+HW_BY_BANDWIDTH = (
+    (230.4, "skylake_2s"),
+    (115.2, "skylake_2s_half_bw"),
+)
+
+BANDWIDTHS_GBS = tuple(gbs for gbs, _ in HW_BY_BANDWIDTH)
+
+GRID = SweepSpec(
+    name="figure8",
+    models=("densenet121",),
+    hardware=tuple(hw for _, hw in HW_BY_BANDWIDTH),
+    scenarios=("baseline", "bnff"),
+    batches=(120,),
+)
 
 PAPER = {
     "bnff_gain_full": 0.257,
@@ -38,9 +53,15 @@ class Figure8Result:
 
 
 def run(batch: int = 120) -> Figure8Result:
-    return Figure8Result(
-        bandwidth_sweep("densenet121", SKYLAKE_2S, BANDWIDTHS_GBS, batch=batch)
-    )
+    store = run_sweep(GRID.subset(batch=batch))
+    return Figure8Result([
+        BandwidthPoint(
+            bandwidth_gbs=gbs,
+            baseline=store.cost(hardware=hw, scenario="baseline"),
+            bnff=store.cost(hardware=hw, scenario="bnff"),
+        )
+        for gbs, hw in HW_BY_BANDWIDTH
+    ])
 
 
 def render(result: Figure8Result) -> str:

@@ -1,10 +1,15 @@
-"""CLI: regenerate any paper artifact from the command line.
+"""CLI: regenerate any paper artifact, or price an ad-hoc sweep grid.
 
 Usage::
 
     python -m repro.experiments            # run everything
     python -m repro.experiments fig7 tab1  # run a subset
     repro-experiments --list               # show available ids
+
+    # Price a custom grid through the sweep engine:
+    python -m repro.experiments sweep \\
+        --models densenet121 resnet50 --scenarios baseline bnff \\
+        --batches 60 120 --parallel 4 --group-by model
 """
 
 from __future__ import annotations
@@ -16,7 +21,108 @@ from typing import List, Optional
 from repro.experiments import EXPERIMENTS
 
 
+def sweep_main(argv: List[str]) -> int:
+    """``sweep`` subcommand: declare a grid on the command line, print it."""
+    from repro.analysis.tables import format_table
+    from repro.errors import SweepSpecError
+    from repro.hw.presets import preset_names
+    from repro.models.registry import MODEL_BUILDERS
+    from repro.passes.scenarios import SCENARIO_ORDER, SCENARIOS
+    from repro.sweep import (
+        AXES,
+        PRECISION_DTYPES,
+        GraphCache,
+        SweepSpec,
+        run_sweep,
+    )
+
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments sweep",
+        description="Price a model x hardware x scenario x batch grid "
+                    "through the parallel sweep engine.",
+    )
+    parser.add_argument("--models", nargs="+", required=True,
+                        metavar="MODEL",
+                        help=f"model names (from: {sorted(MODEL_BUILDERS)})")
+    parser.add_argument("--hardware", nargs="+", default=["skylake_2s"],
+                        metavar="PRESET",
+                        help=f"hardware presets (from: {preset_names()})")
+    parser.add_argument("--scenarios", nargs="+", default=list(SCENARIO_ORDER),
+                        metavar="SCENARIO",
+                        help=f"restructuring scenarios (from: {sorted(SCENARIOS)})")
+    parser.add_argument("--batches", nargs="+", type=int, default=[120],
+                        metavar="N", help="mini-batch sizes")
+    parser.add_argument("--precisions", nargs="+", default=["fp32"],
+                        metavar="P",
+                        help=f"precisions (from: {sorted(PRECISION_DTYPES)})")
+    parser.add_argument("--bandwidth-scales", nargs="+", type=float,
+                        default=[1.0], metavar="S",
+                        help="peak-bandwidth multipliers (Figure 8 style)")
+    parser.add_argument("--infinite-bw", action="store_true",
+                        help="add the infinite-bandwidth axis value "
+                             "(Figure 4 style) alongside the finite one")
+    parser.add_argument("--parallel", type=int, default=None, metavar="N",
+                        help="worker processes (default: serial)")
+    parser.add_argument("--group-by", default=None, metavar="AXIS",
+                        help="print one table per value of this axis")
+    args = parser.parse_args(argv)
+
+    if args.group_by and args.group_by not in AXES:
+        print(f"invalid sweep: unknown --group-by axis {args.group_by!r}; "
+              f"available: {AXES}", file=sys.stderr)
+        return 2
+
+    cache = GraphCache()
+    try:
+        spec = SweepSpec(
+            name="cli",
+            models=args.models,
+            hardware=args.hardware,
+            scenarios=args.scenarios,
+            batches=args.batches,
+            precisions=args.precisions,
+            infinite_bw=(False, True) if args.infinite_bw else (False,),
+            bandwidth_scales=args.bandwidth_scales,
+        )
+        store = run_sweep(spec, parallel=args.parallel, cache=cache)
+    except SweepSpecError as e:
+        print(f"invalid sweep: {e}", file=sys.stderr)
+        return 2
+
+    axes = store.varying_axes() or ["model"]
+    headers = axes + ["iter (s)", "fwd (s)", "bwd (s)", "DRAM (GB)",
+                      "non-CONV"]
+
+    def table(sub, title):
+        rows = [
+            tuple(r.value(a) for a in axes)
+            + (r.value("total_time_s"), r.value("fwd_time_s"),
+               r.value("bwd_time_s"), r.value("dram_bytes") / 1e9,
+               f"{r.value('non_conv_share') * 100:.1f}%")
+            for r in sub.rows
+        ]
+        return format_table(headers, rows, title=title)
+
+    if args.group_by:
+        blocks = [
+            table(sub, f"sweep: {args.group_by}={value}")
+            for value, sub in store.group_by(args.group_by).items()
+        ]
+        print("\n\n".join(blocks))
+    else:
+        print(table(store, f"sweep: {spec.size} cells"))
+    stats = cache.stats
+    where = (f"across {args.parallel} workers"
+             if args.parallel and args.parallel > 1 else "in-process")
+    print(f"\ncells: {len(store)}  priced: {stats.cost_misses} ({where})  "
+          f"cache hits: {stats.cost_hits}")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "sweep":
+        return sweep_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro-experiments",
         description="Regenerate tables/figures from 'Restructuring Batch "

@@ -114,6 +114,11 @@ _PRESETS: Dict[str, HardwareSpec] = {
 }
 
 
+def preset_names() -> list:
+    """Names of the frozen presets, in registration order."""
+    return list(_PRESETS)
+
+
 def get_preset(name: str) -> HardwareSpec:
     """Look up a frozen preset by name."""
     try:

@@ -1,0 +1,35 @@
+"""Parallel sweep engine: declarative grids, memoized builds, columnar results.
+
+The single execution path for grid-shaped measurements (every paper
+figure and every what-if study): declare a :class:`SweepSpec`, hand it
+to :func:`run_sweep`, query the returned :class:`SweepResult`.
+"""
+
+from repro.sweep.cache import CacheStats, GraphCache, retype_graph
+from repro.sweep.runner import (
+    INFINITE_BW_KINDS,
+    cell_hardware,
+    enumerate_cells,
+    price_cell,
+    run_sweep,
+)
+from repro.sweep.spec import AXES, PRECISION_DTYPES, SweepCell, SweepSpec
+from repro.sweep.store import METRICS, SweepResult, SweepRow
+
+__all__ = [
+    "AXES",
+    "CacheStats",
+    "GraphCache",
+    "INFINITE_BW_KINDS",
+    "METRICS",
+    "PRECISION_DTYPES",
+    "SweepCell",
+    "SweepResult",
+    "SweepRow",
+    "SweepSpec",
+    "cell_hardware",
+    "enumerate_cells",
+    "price_cell",
+    "retype_graph",
+    "run_sweep",
+]

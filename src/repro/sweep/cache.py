@@ -1,0 +1,128 @@
+"""Content-keyed memoization for sweep execution.
+
+Grid cells share expensive prefixes: every scenario of one model reuses
+the same built :class:`LayerGraph`, and every hardware / bandwidth /
+infinite-bw variant of one (model, scenario) pair reuses the same
+restructured graph. The :class:`GraphCache` memoizes all three stages —
+
+1. **built graphs**, keyed by (model, batch, precision);
+2. **scenario graphs**, keyed by the built graph's key plus the
+   scenario's expanded pass pipeline;
+3. **priced cells** (:class:`IterationCost`), keyed by the scenario
+   graph's key plus the hardware-side axes —
+
+so a warm cache re-prices a whole figure grid without rebuilding or
+re-restructuring anything. Keys are content hashes (see
+:meth:`SweepCell.key`), never object identities, which makes the cache
+safe to share across sweeps and across :class:`SweepSpec` objects.
+
+Cached graphs are treated as immutable: ``apply_scenario`` already
+clones before mutating, and the simulator never writes to the graph.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict
+
+from repro.graph.graph import LayerGraph
+from repro.models.registry import build_model
+from repro.passes.scenarios import apply_scenario
+from repro.perf.report import IterationCost
+from repro.sweep.spec import PRECISION_DTYPES, SweepCell
+from repro.tensors.tensor_spec import TensorSpec
+
+
+def retype_graph(graph: LayerGraph, precision: str) -> LayerGraph:
+    """Clone *graph* with every tensor re-typed to *precision*.
+
+    The precision axis models element size only (the paper's Section 3.2
+    argues fp32 suffices numerically); sweep ledgers reference tensors by
+    name, so swapping the specs is enough for the traffic model.
+    """
+    dtype = PRECISION_DTYPES[precision]
+    g = graph.clone()
+    g.tensors = {
+        name: TensorSpec(name=t.name, shape=t.shape, kind=t.kind, dtype=dtype)
+        for name, t in g.tensors.items()
+    }
+    return g
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters per memoization stage."""
+
+    graph_hits: int = 0
+    graph_misses: int = 0
+    scenario_hits: int = 0
+    scenario_misses: int = 0
+    cost_hits: int = 0
+    cost_misses: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return dict(self.__dict__)
+
+
+@dataclass
+class GraphCache:
+    """Three-stage content-keyed memo: build -> restructure -> price."""
+
+    _graphs: Dict[str, LayerGraph] = field(default_factory=dict)
+    _scenario_graphs: Dict[str, LayerGraph] = field(default_factory=dict)
+    _costs: Dict[str, IterationCost] = field(default_factory=dict)
+    stats: CacheStats = field(default_factory=CacheStats)
+
+    # -- stage 1: built model graphs -----------------------------------------
+    def base_graph(self, model: str, batch: int,
+                   precision: str = "fp32") -> LayerGraph:
+        cell = SweepCell(model=model, hardware="skylake_2s",
+                         scenario="baseline", batch=batch, precision=precision)
+        key = cell.graph_key()
+        hit = key in self._graphs
+        if not hit:
+            graph = build_model(model, batch=batch)
+            if precision != "fp32":
+                graph = retype_graph(graph, precision)
+            self._graphs[key] = graph
+        self.stats.graph_hits += hit
+        self.stats.graph_misses += not hit
+        return self._graphs[key]
+
+    # -- stage 2: restructured graphs ----------------------------------------
+    def scenario_graph(self, model: str, batch: int, scenario: str,
+                       precision: str = "fp32") -> LayerGraph:
+        cell = SweepCell(model=model, hardware="skylake_2s",
+                         scenario=scenario, batch=batch, precision=precision)
+        key = cell.scenario_key()
+        hit = key in self._scenario_graphs
+        if not hit:
+            base = self.base_graph(model, batch, precision)
+            graph, _ = apply_scenario(base, scenario)
+            self._scenario_graphs[key] = graph
+        self.stats.scenario_hits += hit
+        self.stats.scenario_misses += not hit
+        return self._scenario_graphs[key]
+
+    # -- stage 3: priced cells -------------------------------------------------
+    def cost(self, key: str,
+             compute: Callable[[], IterationCost]) -> IterationCost:
+        """Memoized cell pricing: return the cached cost or compute it."""
+        hit = key in self._costs
+        if not hit:
+            self._costs[key] = compute()
+        self.stats.cost_hits += hit
+        self.stats.cost_misses += not hit
+        return self._costs[key]
+
+    def cached_cost(self, key: str) -> IterationCost | None:
+        return self._costs.get(key)
+
+    def store_cost(self, key: str, cost: IterationCost) -> None:
+        self._costs[key] = cost
+
+    def clear(self) -> None:
+        self._graphs.clear()
+        self._scenario_graphs.clear()
+        self._costs.clear()
+        self.stats = CacheStats()

@@ -1,0 +1,132 @@
+"""Sweep execution: price every grid cell, serially or across cores.
+
+``run_sweep`` accepts one spec or several (a figure whose grid is not a
+pure cross product — e.g. Figure 6's per-architecture mini-batches —
+declares one small spec per leg). Cells are deduplicated by content key,
+priced once each, and the results are assembled **in cell-enumeration
+order** regardless of how many workers priced them, so serial and
+parallel runs produce the same store cell-for-cell.
+
+Parallel mode fans the unique cells over a ``multiprocessing`` pool.
+Each worker process holds its own :class:`GraphCache`, so cells that
+share a built graph or a restructured graph still reuse it within a
+worker; ``Pool.map`` hands out contiguous chunks, which keeps a model's
+scenarios together and makes those prefix hits likely. The pricing
+arithmetic is pure float computation on immutable inputs, so a parallel
+run is bit-identical to a serial one.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from typing import List, Optional, Sequence, Union
+
+from repro.analysis.bandwidth import FIG4_KINDS
+from repro.hw.presets import get_preset
+from repro.hw.spec import HardwareSpec
+from repro.perf.report import IterationCost
+from repro.perf.simulator import simulate
+from repro.sweep.cache import GraphCache
+from repro.sweep.spec import SweepCell, SweepSpec
+from repro.sweep.store import SweepResult
+
+#: The op kinds whose sweeps become free under the ``infinite_bw`` axis
+#: (Figure 4's hypothetical machine: BN/ReLU data remapped into L1).
+INFINITE_BW_KINDS = FIG4_KINDS
+
+
+def cell_hardware(cell: SweepCell) -> HardwareSpec:
+    """Resolve a cell's hardware axes to a concrete :class:`HardwareSpec`."""
+    hw = get_preset(cell.hardware)
+    if cell.bandwidth_scale != 1.0:
+        hw = hw.with_bandwidth(hw.dram_bandwidth * cell.bandwidth_scale)
+    return hw
+
+
+def price_cell(cell: SweepCell, cache: Optional[GraphCache] = None) -> IterationCost:
+    """Price one grid cell (graph build and restructuring memoized)."""
+    cache = cache if cache is not None else GraphCache()
+
+    def compute() -> IterationCost:
+        graph = cache.scenario_graph(
+            cell.model, cell.batch, cell.scenario, cell.precision
+        )
+        kinds = INFINITE_BW_KINDS if cell.infinite_bw else frozenset()
+        return simulate(graph, cell_hardware(cell), scenario=cell.scenario,
+                        infinite_bw_kinds=kinds)
+
+    return cache.cost(cell.key(), compute)
+
+
+# -- worker-process plumbing ----------------------------------------------------
+_WORKER_CACHE: Optional[GraphCache] = None
+
+
+def _init_worker() -> None:
+    global _WORKER_CACHE
+    _WORKER_CACHE = GraphCache()
+
+
+def _price_cell_in_worker(cell: SweepCell) -> IterationCost:
+    return price_cell(cell, _WORKER_CACHE)
+
+
+def enumerate_cells(
+    spec: Union[SweepSpec, Sequence[SweepSpec]],
+) -> List[SweepCell]:
+    """Cells of one spec, or of several specs concatenated in order."""
+    specs = [spec] if isinstance(spec, SweepSpec) else list(spec)
+    cells: List[SweepCell] = []
+    for s in specs:
+        cells.extend(s.cells())
+    return cells
+
+
+def run_sweep(
+    spec: Union[SweepSpec, Sequence[SweepSpec]],
+    parallel: Optional[int] = None,
+    cache: Optional[GraphCache] = None,
+) -> SweepResult:
+    """Price a sweep grid and return the queryable result store.
+
+    Parameters
+    ----------
+    spec:
+        One :class:`SweepSpec` or a sequence of them (cells concatenate).
+    parallel:
+        Worker-process count; ``None`` or ``1`` runs serially in-process.
+        Results are ordered by cell enumeration either way.
+    cache:
+        A :class:`GraphCache` to reuse across calls. A warm cache skips
+        graph builds, pass pipelines *and* pricing for cells it has seen.
+    """
+    cells = enumerate_cells(spec)
+    cache = cache if cache is not None else GraphCache()
+
+    # Deduplicate by content key: identical cells (within or across specs)
+    # are priced once and fanned back out to every position.
+    unique: List[SweepCell] = []
+    seen = set()
+    for cell in cells:
+        if cell.key() not in seen:
+            seen.add(cell.key())
+            unique.append(cell)
+
+    # Cells the caller's cache already priced never reach the pool.
+    to_price = [c for c in unique if cache.cached_cost(c.key()) is None]
+    cache.stats.cost_hits += len(unique) - len(to_price)
+
+    if parallel and parallel > 1 and len(to_price) > 1:
+        processes = min(parallel, len(to_price))
+        with multiprocessing.Pool(processes, initializer=_init_worker) as pool:
+            priced = pool.map(_price_cell_in_worker, to_price)
+        cache.stats.cost_misses += len(to_price)
+        for cell, cost in zip(to_price, priced):
+            cache.store_cost(cell.key(), cost)
+    else:
+        for cell in to_price:
+            price_cell(cell, cache)
+
+    return SweepResult.from_cells(
+        cells, {c.key(): cache.cached_cost(c.key()) for c in unique}
+    )

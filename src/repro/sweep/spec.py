@@ -1,0 +1,230 @@
+"""Declarative sweep grids over the paper's measurement axes.
+
+The paper's evaluation is a grid — model x hardware x restructuring
+scenario x mini-batch — and every figure is a slice of it. A
+:class:`SweepSpec` declares such a grid once; the runner enumerates its
+:class:`SweepCell`\\ s in a deterministic nested-loop order, prices each
+cell through the simulator, and the store answers slice queries.
+
+Two extra axes extend the paper's grid:
+
+* ``precisions`` — fp16/fp32/fp64 element sizes (the paper trains in
+  fp32; halving the element size halves every sweep's DRAM bytes);
+* ``infinite_bw`` — Figure 4's hypothetical machine where BN/ReLU
+  sweeps cost no DRAM time;
+* ``bandwidth_scales`` — Figure 8's down-clocked memory channels as a
+  multiplier on the preset's peak bandwidth.
+
+Cells are *content-keyed*: a cell's cache key hashes the axis values
+**plus** the pass-class pipeline the scenario expands to, so editing a
+scenario's pipeline invalidates every cached artifact that depended on
+it.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import SweepSpecError
+from repro.hw.presets import preset_names
+from repro.models.registry import MODEL_BUILDERS
+from repro.passes.scenarios import SCENARIO_ORDER, SCENARIOS
+
+#: Supported precision-axis values -> numpy dtypes.
+PRECISION_DTYPES: Dict[str, np.dtype] = {
+    "fp16": np.dtype(np.float16),
+    "fp32": np.dtype(np.float32),
+    "fp64": np.dtype(np.float64),
+}
+
+#: Axis names in grid-enumeration (outermost-first) order.
+AXES: Tuple[str, ...] = (
+    "model", "hardware", "scenario", "batch",
+    "precision", "infinite_bw", "bandwidth_scale",
+)
+
+
+@dataclass(frozen=True)
+class SweepCell:
+    """One grid point: everything needed to price a single configuration."""
+
+    model: str
+    hardware: str
+    scenario: str
+    batch: int
+    precision: str = "fp32"
+    infinite_bw: bool = False
+    bandwidth_scale: float = 1.0
+
+    def axis(self, name: str):
+        """Value of one axis by name (columnar access helper)."""
+        if name not in AXES:
+            raise SweepSpecError(f"unknown axis {name!r}; available: {AXES}")
+        return getattr(self, name)
+
+    # -- content keys ----------------------------------------------------------
+    def graph_key(self) -> str:
+        """Cache key of the built (unrestructured) model graph."""
+        return _digest({
+            "model": self.model,
+            "batch": self.batch,
+            "precision": self.precision,
+        })
+
+    def scenario_key(self) -> str:
+        """Cache key of the scenario-restructured graph.
+
+        Includes the scenario's expanded pass-class pipeline, so a change
+        to the pipeline definition changes the key.
+        """
+        return _digest({
+            "graph": self.graph_key(),
+            "scenario": self.scenario,
+            "pipeline": [cls.__name__ for cls in SCENARIOS[self.scenario]],
+        })
+
+    def key(self) -> str:
+        """Cache key of this cell's priced :class:`IterationCost`."""
+        return _digest({
+            "scenario_graph": self.scenario_key(),
+            "hardware": self.hardware,
+            "infinite_bw": self.infinite_bw,
+            "bandwidth_scale": repr(self.bandwidth_scale),
+        })
+
+    def label(self) -> str:
+        """Compact human-readable identity (CLI/report rows)."""
+        parts = [self.model, self.hardware, self.scenario, f"b{self.batch}"]
+        if self.precision != "fp32":
+            parts.append(self.precision)
+        if self.infinite_bw:
+            parts.append("infbw")
+        if self.bandwidth_scale != 1.0:
+            parts.append(f"bw x{self.bandwidth_scale:g}")
+        return "/".join(parts)
+
+
+def _digest(payload: dict) -> str:
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()[:16]
+
+
+def _axis_tuple(name: str, values) -> tuple:
+    """Coerce one axis declaration to a non-empty duplicate-free tuple."""
+    if isinstance(values, (str, bytes, int, float, bool)):
+        values = (values,)
+    out = tuple(values)
+    if not out:
+        raise SweepSpecError(f"axis {name!r} must not be empty")
+    if len(set(out)) != len(out):
+        raise SweepSpecError(f"axis {name!r} has duplicate values: {out!r}")
+    return out
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """A declarative measurement grid (cross product of its axes).
+
+    Axes accept any sequence (a bare string/scalar means a single-value
+    axis). ``cells()`` validates every axis value against the model
+    registry, the hardware presets and the scenario table before
+    enumerating, so typos fail loudly with the available choices listed.
+    """
+
+    models: Sequence[str]
+    hardware: Sequence[str] = ("skylake_2s",)
+    scenarios: Sequence[str] = SCENARIO_ORDER
+    batches: Sequence[int] = (120,)
+    precisions: Sequence[str] = ("fp32",)
+    infinite_bw: Sequence[bool] = (False,)
+    bandwidth_scales: Sequence[float] = (1.0,)
+    name: str = "sweep"
+
+    def __post_init__(self) -> None:
+        for fld, axis in (
+            ("models", "model"), ("hardware", "hardware"),
+            ("scenarios", "scenario"), ("batches", "batch"),
+            ("precisions", "precision"), ("infinite_bw", "infinite_bw"),
+            ("bandwidth_scales", "bandwidth_scale"),
+        ):
+            object.__setattr__(self, fld, _axis_tuple(axis, getattr(self, fld)))
+
+    # -- validation ---------------------------------------------------------
+    def validate(self) -> None:
+        """Raise :class:`SweepSpecError` on any unknown axis value."""
+        _check_values(self.name, "model", self.models, sorted(MODEL_BUILDERS))
+        _check_values(self.name, "hardware preset", self.hardware,
+                      preset_names())
+        _check_values(self.name, "scenario", self.scenarios, sorted(SCENARIOS))
+        _check_values(self.name, "precision", self.precisions,
+                      sorted(PRECISION_DTYPES))
+        for b in self.batches:
+            if not isinstance(b, (int, np.integer)) or isinstance(b, bool) \
+                    or b <= 0:
+                raise SweepSpecError(
+                    f"{self.name}: batch sizes must be positive ints, "
+                    f"got {b!r}"
+                )
+        for v in self.infinite_bw:
+            if not isinstance(v, bool):
+                raise SweepSpecError(
+                    f"{self.name}: infinite_bw values must be bools, got {v!r}"
+                )
+        for s in self.bandwidth_scales:
+            if not isinstance(s, (int, float)) or isinstance(s, bool) or s <= 0:
+                raise SweepSpecError(
+                    f"{self.name}: bandwidth scales must be positive numbers, "
+                    f"got {s!r}"
+                )
+
+    # -- enumeration --------------------------------------------------------
+    @property
+    def size(self) -> int:
+        return (len(self.models) * len(self.hardware) * len(self.scenarios)
+                * len(self.batches) * len(self.precisions)
+                * len(self.infinite_bw) * len(self.bandwidth_scales))
+
+    def cells(self) -> List[SweepCell]:
+        """Enumerate the grid in deterministic nested-loop (axis) order."""
+        self.validate()
+        return [
+            SweepCell(model=m, hardware=h, scenario=s, batch=int(b),
+                      precision=p, infinite_bw=i, bandwidth_scale=float(w))
+            for m in self.models
+            for h in self.hardware
+            for s in self.scenarios
+            for b in self.batches
+            for p in self.precisions
+            for i in self.infinite_bw
+            for w in self.bandwidth_scales
+        ]
+
+    def subset(self, **axes) -> "SweepSpec":
+        """Copy of this spec with some axes narrowed (same validation)."""
+        field_by_axis = {
+            "model": "models", "hardware": "hardware", "scenario": "scenarios",
+            "batch": "batches", "precision": "precisions",
+            "infinite_bw": "infinite_bw", "bandwidth_scale": "bandwidth_scales",
+        }
+        changes = {}
+        for axis, values in axes.items():
+            if axis not in field_by_axis:
+                raise SweepSpecError(
+                    f"unknown axis {axis!r}; available: {AXES}"
+                )
+            changes[field_by_axis[axis]] = values
+        return dataclasses.replace(self, **changes)
+
+
+def _check_values(spec_name: str, what: str, values, available) -> None:
+    for v in values:
+        if v not in available:
+            raise SweepSpecError(
+                f"{spec_name}: unknown {what} {v!r}; available: {available}"
+            )

@@ -1,0 +1,108 @@
+"""GraphCache memoization: hits are bit-identical to cold computes."""
+
+import numpy as np
+
+from repro.models.registry import build_model
+from repro.sweep import GraphCache, SweepSpec, price_cell, retype_graph, run_sweep
+
+
+def _totals(store):
+    return [
+        (r.cost.total_time_s, r.cost.fwd_time_s, r.cost.bwd_time_s,
+         r.cost.dram_bytes)
+        for r in store.rows
+    ]
+
+
+def test_warm_cache_results_bit_identical_to_cold():
+    spec = SweepSpec(
+        name="t",
+        models=("tiny_cnn", "tiny_densenet"),
+        scenarios=("baseline", "rcf", "bnff"),
+        batches=(4,),
+    )
+    cache = GraphCache()
+    cold = run_sweep(spec, cache=cache)
+    assert cache.stats.cost_hits == 0
+    assert cache.stats.cost_misses == len(cold)
+
+    warm = run_sweep(spec, cache=cache)
+    # Every cell served from cache, and every float is exactly equal.
+    assert cache.stats.cost_misses == len(cold)
+    assert cache.stats.cost_hits == len(cold)
+    assert _totals(warm) == _totals(cold)
+    # Cache hits return the same cost objects, not recomputations.
+    assert all(w.cost is c.cost for w, c in zip(warm.rows, cold.rows))
+
+
+def test_fresh_cache_reproduces_identical_numbers():
+    spec = SweepSpec(name="t", models=("tiny_resnet",),
+                     scenarios=("baseline", "bnff"), batches=(4,))
+    a = run_sweep(spec, cache=GraphCache())
+    b = run_sweep(spec, cache=GraphCache())
+    assert _totals(a) == _totals(b)
+
+
+def test_scenarios_share_one_built_graph():
+    spec = SweepSpec(name="t", models=("tiny_cnn",),
+                     scenarios=("baseline", "rcf", "rcf_mvf", "bnff"),
+                     batches=(4,))
+    cache = GraphCache()
+    run_sweep(spec, cache=cache)
+    # One build, then three cache hits from the later scenarios.
+    assert cache.stats.graph_misses == 1
+    assert cache.stats.graph_hits == 3
+    assert cache.stats.scenario_misses == 4
+
+
+def test_hardware_axis_shares_restructured_graphs():
+    spec = SweepSpec(name="t", models=("tiny_cnn",),
+                     hardware=("skylake_2s", "knights_landing"),
+                     scenarios=("bnff",), batches=(4,))
+    cache = GraphCache()
+    store = run_sweep(spec, cache=cache)
+    assert len(store) == 2
+    # Two priced cells, but the bnff pipeline ran only once.
+    assert cache.stats.cost_misses == 2
+    assert cache.stats.scenario_misses == 1
+    assert cache.stats.scenario_hits == 1
+
+
+def test_duplicate_cells_across_specs_priced_once():
+    spec = SweepSpec(name="t", models=("tiny_cnn",), scenarios=("baseline",),
+                     batches=(4,))
+    cache = GraphCache()
+    store = run_sweep([spec, spec], cache=cache)
+    assert len(store) == 2  # both positions present...
+    assert cache.stats.cost_misses == 1  # ...one pricing
+    assert store.rows[0].cost is store.rows[1].cost
+
+
+def test_price_cell_memoizes_through_cell_key():
+    spec = SweepSpec(name="t", models=("tiny_cnn",), scenarios=("baseline",),
+                     batches=(4,))
+    [cell] = spec.cells()
+    cache = GraphCache()
+    first = price_cell(cell, cache)
+    second = price_cell(cell, cache)
+    assert second is first
+    assert cache.stats.cost_hits == 1
+
+
+def test_retype_graph_swaps_every_tensor_dtype():
+    graph = build_model("tiny_cnn", batch=4)
+    half = retype_graph(graph, "fp16")
+    assert all(t.dtype == np.float16 for t in half.tensors.values())
+    # Original untouched; structure preserved.
+    assert all(t.dtype == np.float32 for t in graph.tensors.values())
+    assert [n.name for n in half.nodes] == [n.name for n in graph.nodes]
+    half.validate()
+
+
+def test_precision_axis_scales_sweep_bytes():
+    graph = build_model("tiny_cnn", batch=4)
+    half = retype_graph(graph, "fp16")
+    double = retype_graph(graph, "fp64")
+    for name, t in graph.tensors.items():
+        assert half.tensor(name).size_bytes * 2 == t.size_bytes
+        assert double.tensor(name).size_bytes == t.size_bytes * 2

@@ -1,0 +1,67 @@
+"""Golden determinism: one fixed cell prices identically across processes.
+
+Parallelism only preserves the figures if the simulator is a pure
+function of (graph, hardware) — no hash-order, address-order or
+accumulation-order dependence. This prices the same (model, hw,
+scenario) cell in two *separate* interpreter processes (fresh hash
+randomization each) and asserts every total is bit-identical, then pins
+the same totals in-process.
+"""
+
+import json
+import os
+import subprocess
+import sys
+
+import repro
+from repro.sweep import SweepCell, price_cell
+
+#: The fixed golden cell: cheap to build, exercises the full BNFF pipeline.
+CELL = dict(model="tiny_densenet", hardware="skylake_2s", scenario="bnff",
+            batch=4)
+
+_CHILD_SCRIPT = """
+import json, sys
+from repro.sweep import SweepCell, price_cell
+cell = SweepCell(**json.loads(sys.argv[1]))
+cost = price_cell(cell)
+print(json.dumps({
+    "total_time_s": cost.total_time_s,
+    "fwd_time_s": cost.fwd_time_s,
+    "bwd_time_s": cost.bwd_time_s,
+    "dram_bytes": cost.dram_bytes,
+    "per_node": [[n.name, n.fwd.time_s, n.bwd.time_s, n.dram_bytes]
+                 for n in cost.nodes],
+}))
+"""
+
+
+def _price_in_fresh_process():
+    src_dir = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+    env = dict(os.environ)
+    env["PYTHONPATH"] = src_dir + os.pathsep + env.get("PYTHONPATH", "")
+    out = subprocess.run(
+        [sys.executable, "-c", _CHILD_SCRIPT, json.dumps(CELL)],
+        env=env, capture_output=True, text=True, check=True,
+    )
+    # json round-trips floats through repr, which is exact for doubles.
+    return json.loads(out.stdout)
+
+
+def test_identical_totals_across_process_boundaries():
+    first = _price_in_fresh_process()
+    second = _price_in_fresh_process()
+    assert first == second
+
+
+def test_subprocess_totals_match_in_process_pricing():
+    child = _price_in_fresh_process()
+    cost = price_cell(SweepCell(**CELL))
+    assert child["total_time_s"] == cost.total_time_s
+    assert child["fwd_time_s"] == cost.fwd_time_s
+    assert child["bwd_time_s"] == cost.bwd_time_s
+    assert child["dram_bytes"] == cost.dram_bytes
+    assert child["per_node"] == [
+        [n.name, n.fwd.time_s, n.bwd.time_s, n.dram_bytes]
+        for n in cost.nodes
+    ]

@@ -1,0 +1,109 @@
+"""Every paper figure prices identically through the sweep engine and
+through the pre-refactor serial loops.
+
+The analysis layer keeps the original hand-rolled loops
+(`breakdown_table`, `architecture_comparison`, `compare_scenarios`,
+`infinite_bandwidth_speedup`, `bandwidth_sweep`) as reference
+implementations; the experiments now declare SweepSpec grids. This test
+pins the two paths to *exactly* equal floats, and checks a warm cache
+re-runs the figure-7 grid measurably faster than a cold one.
+"""
+
+import time
+
+import pytest
+
+from repro.analysis.bandwidth import bandwidth_sweep, infinite_bandwidth_speedup
+from repro.analysis.breakdown import architecture_comparison, breakdown_table
+from repro.analysis.scenarios import compare_scenarios
+from repro.experiments import figure1, figure3, figure4, figure6, figure7, figure8
+from repro.hw.presets import KNIGHTS_LANDING, PASCAL_TITAN_X, SKYLAKE_2S
+from repro.models.registry import build_model
+from repro.perf.simulator import simulate
+from repro.perf.timeline import iteration_timeline
+from repro.sweep import GraphCache, run_sweep
+
+
+def test_figure1_breakdowns_equal_serial_loop():
+    via_sweep = figure1.run().breakdowns
+    via_loop = breakdown_table(figure1.MODELS, SKYLAKE_2S, batch=120)
+    assert via_sweep == via_loop  # frozen dataclasses: exact field equality
+
+
+def test_figure3_timeline_equals_direct_simulation():
+    via_sweep = figure3.run()
+    cost = simulate(build_model("densenet121", batch=120), SKYLAKE_2S)
+    assert via_sweep.segments == iteration_timeline(cost)
+
+
+def test_figure4_speedup_equals_serial_loop():
+    via_sweep = figure4.run()
+    via_loop = infinite_bandwidth_speedup("densenet121", SKYLAKE_2S, batch=120)
+    assert via_sweep.finite_s == via_loop.finite_s
+    assert via_sweep.infinite_s == via_loop.infinite_s
+    assert via_sweep.speedup == via_loop.speedup
+
+
+def test_figure6_breakdowns_equal_serial_loop():
+    via_sweep = figure6.run().breakdowns
+    via_loop = architecture_comparison(
+        "densenet121",
+        [(PASCAL_TITAN_X, 28), (KNIGHTS_LANDING, 128), (SKYLAKE_2S, 120)],
+    )
+    assert via_sweep == via_loop
+
+
+@pytest.fixture(scope="module")
+def fig7_serial():
+    return {
+        model: compare_scenarios(model, SKYLAKE_2S, batch=120)
+        for model in ("densenet121", "resnet50")
+    }
+
+
+def test_figure7_scenario_results_equal_serial_loop(fig7_serial):
+    via_sweep = figure7.run()
+    for model, serial_results in fig7_serial.items():
+        sweep_results = via_sweep.results[model]
+        assert len(sweep_results) == len(serial_results)
+        for s, ref in zip(sweep_results, serial_results):
+            assert s.scenario == ref.scenario
+            assert s.cost.total_time_s == ref.cost.total_time_s
+            assert s.cost.fwd_time_s == ref.cost.fwd_time_s
+            assert s.cost.bwd_time_s == ref.cost.bwd_time_s
+            assert s.cost.dram_bytes == ref.cost.dram_bytes
+            assert s.total_gain == ref.total_gain
+            assert s.fwd_gain == ref.fwd_gain
+            assert s.bwd_gain == ref.bwd_gain
+            assert s.dram_reduction == ref.dram_reduction
+
+
+def test_figure8_points_equal_serial_loop():
+    via_sweep = figure8.run()
+    via_loop = bandwidth_sweep("densenet121", SKYLAKE_2S,
+                               figure8.BANDWIDTHS_GBS, batch=120)
+    assert len(via_sweep.points) == len(via_loop)
+    for p, ref in zip(via_sweep.points, via_loop):
+        assert p.bandwidth_gbs == ref.bandwidth_gbs
+        assert p.baseline.total_time_s == ref.baseline.total_time_s
+        assert p.bnff.total_time_s == ref.bnff.total_time_s
+        assert p.bnff_gain == ref.bnff_gain
+        assert p.baseline_non_conv_share == ref.baseline_non_conv_share
+
+
+def test_figure7_warm_cache_rerun_is_measurably_faster():
+    cache = GraphCache()
+    t0 = time.perf_counter()
+    cold = run_sweep(figure7.GRID, cache=cache)
+    t_cold = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    warm = run_sweep(figure7.GRID, cache=cache)
+    t_warm = time.perf_counter() - t0
+
+    # Warm run skips every build, pass pipeline and pricing...
+    assert cache.stats.cost_hits == len(cold)
+    assert [r.cost for r in warm.rows] == [r.cost for r in cold.rows]
+    # ...so it must beat the cold run comfortably (generous 2x margin —
+    # in practice it is orders of magnitude faster).
+    assert t_warm < t_cold / 2

@@ -1,0 +1,62 @@
+"""Parallel runner output must match the serial runner cell-for-cell."""
+
+import pytest
+
+from repro.sweep import GraphCache, SweepSpec, run_sweep
+
+GRID = SweepSpec(
+    name="par",
+    models=("tiny_cnn", "tiny_resnet", "tiny_densenet"),
+    hardware=("skylake_2s", "knights_landing"),
+    scenarios=("baseline", "rcf", "bnff"),
+    batches=(2, 4),
+)
+
+
+@pytest.fixture(scope="module")
+def serial():
+    return run_sweep(GRID)
+
+
+@pytest.fixture(scope="module")
+def parallel():
+    return run_sweep(GRID, parallel=3)
+
+
+def test_same_cells_in_same_order(serial, parallel):
+    assert [r.cell for r in parallel.rows] == [r.cell for r in serial.rows]
+    assert [r.cell for r in serial.rows] == GRID.cells()
+
+
+def test_cell_for_cell_identical_totals(serial, parallel):
+    for s, p in zip(serial.rows, parallel.rows):
+        assert p.cost.total_time_s == s.cost.total_time_s, s.cell
+        assert p.cost.fwd_time_s == s.cost.fwd_time_s, s.cell
+        assert p.cost.bwd_time_s == s.cost.bwd_time_s, s.cell
+        assert p.cost.dram_bytes == s.cost.dram_bytes, s.cell
+
+
+def test_per_node_costs_identical(serial, parallel):
+    for s, p in zip(serial.rows, parallel.rows):
+        assert len(s.cost.nodes) == len(p.cost.nodes)
+        for sn, pn in zip(s.cost.nodes, p.cost.nodes):
+            assert (sn.name, sn.kind, sn.is_ghost) == (pn.name, pn.kind,
+                                                       pn.is_ghost)
+            assert sn.fwd == pn.fwd
+            assert sn.bwd == pn.bwd
+
+
+def test_more_workers_than_cells_is_fine():
+    spec = SweepSpec(name="t", models=("tiny_cnn",), scenarios=("baseline",),
+                     batches=(2, 4))
+    store = run_sweep(spec, parallel=16)
+    assert len(store) == 2
+
+
+def test_parallel_populates_caller_cache_for_warm_reruns(parallel):
+    cache = GraphCache()
+    first = run_sweep(GRID, parallel=3, cache=cache)
+    assert cache.stats.cost_misses == len(first)
+    again = run_sweep(GRID, parallel=3, cache=cache)
+    assert cache.stats.cost_hits == len(first)
+    assert all(a.cost is f.cost for a, f in zip(again.rows, first.rows))

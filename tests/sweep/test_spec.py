@@ -1,0 +1,120 @@
+"""SweepSpec declaration, validation and deterministic enumeration."""
+
+import pytest
+
+from repro.errors import SweepSpecError
+from repro.sweep import AXES, SweepCell, SweepSpec
+
+
+def test_cells_enumerate_in_nested_axis_order():
+    spec = SweepSpec(
+        name="t",
+        models=("tiny_cnn", "tiny_resnet"),
+        hardware=("skylake_2s",),
+        scenarios=("baseline", "bnff"),
+        batches=(2, 4),
+    )
+    cells = spec.cells()
+    assert len(cells) == spec.size == 8
+    assert [(c.model, c.scenario, c.batch) for c in cells] == [
+        ("tiny_cnn", "baseline", 2), ("tiny_cnn", "baseline", 4),
+        ("tiny_cnn", "bnff", 2), ("tiny_cnn", "bnff", 4),
+        ("tiny_resnet", "baseline", 2), ("tiny_resnet", "baseline", 4),
+        ("tiny_resnet", "bnff", 2), ("tiny_resnet", "bnff", 4),
+    ]
+    # Enumeration is reproducible.
+    assert spec.cells() == cells
+
+
+def test_scalar_axis_values_are_coerced_to_single_value_axes():
+    spec = SweepSpec(name="t", models="tiny_cnn", scenarios="baseline",
+                     batches=4)
+    assert spec.models == ("tiny_cnn",)
+    assert spec.size == 1
+    [cell] = spec.cells()
+    assert cell == SweepCell(model="tiny_cnn", hardware="skylake_2s",
+                             scenario="baseline", batch=4)
+
+
+def test_unknown_model_rejected_with_available_list():
+    with pytest.raises(SweepSpecError, match=r"unknown model 'nope'.*tiny_cnn"):
+        SweepSpec(name="t", models=("nope",)).cells()
+
+
+def test_unknown_hardware_preset_rejected():
+    with pytest.raises(SweepSpecError,
+                       match=r"unknown hardware preset 'gpu9000'.*skylake_2s"):
+        SweepSpec(name="t", models=("tiny_cnn",),
+                  hardware=("gpu9000",)).cells()
+
+
+def test_unknown_scenario_rejected():
+    with pytest.raises(SweepSpecError, match=r"unknown scenario 'bnzz'.*bnff"):
+        SweepSpec(name="t", models=("tiny_cnn",), scenarios=("bnzz",)).cells()
+
+
+def test_unknown_precision_rejected():
+    with pytest.raises(SweepSpecError, match=r"unknown precision 'fp8'"):
+        SweepSpec(name="t", models=("tiny_cnn",), precisions=("fp8",)).cells()
+
+
+@pytest.mark.parametrize("batch", [0, -3, 2.5, True])
+def test_bad_batches_rejected(batch):
+    with pytest.raises(SweepSpecError, match="batch sizes must be"):
+        SweepSpec(name="t", models=("tiny_cnn",), batches=(batch,)).cells()
+
+
+def test_empty_and_duplicate_axes_rejected():
+    with pytest.raises(SweepSpecError, match="must not be empty"):
+        SweepSpec(name="t", models=())
+    with pytest.raises(SweepSpecError, match="duplicate"):
+        SweepSpec(name="t", models=("tiny_cnn", "tiny_cnn"))
+
+
+def test_bad_bandwidth_scale_rejected():
+    with pytest.raises(SweepSpecError, match="bandwidth scales"):
+        SweepSpec(name="t", models=("tiny_cnn",),
+                  bandwidth_scales=(0.0,)).cells()
+
+
+def test_subset_narrows_axes_and_rejects_unknown_axis():
+    spec = SweepSpec(name="t", models=("tiny_cnn", "tiny_resnet"),
+                     batches=(2, 4))
+    narrowed = spec.subset(model="tiny_cnn", batch=2)
+    assert narrowed.models == ("tiny_cnn",)
+    assert narrowed.batches == (2,)
+    assert narrowed.scenarios == spec.scenarios
+    with pytest.raises(SweepSpecError, match="unknown axis"):
+        spec.subset(flavour="spicy")
+
+
+def test_cell_axis_accessor_covers_every_axis():
+    cell = SweepCell(model="tiny_cnn", hardware="skylake_2s",
+                     scenario="bnff", batch=4)
+    assert [cell.axis(a) for a in AXES] == [
+        "tiny_cnn", "skylake_2s", "bnff", 4, "fp32", False, 1.0,
+    ]
+    with pytest.raises(SweepSpecError, match="unknown axis"):
+        cell.axis("nope")
+
+
+def test_cell_keys_are_content_sensitive():
+    base = SweepCell(model="tiny_cnn", hardware="skylake_2s",
+                     scenario="bnff", batch=4)
+    assert base.key() == SweepCell(model="tiny_cnn", hardware="skylake_2s",
+                                   scenario="bnff", batch=4).key()
+    # Changing any axis changes the cell key.
+    for change in (
+        {"model": "tiny_resnet"}, {"hardware": "knights_landing"},
+        {"scenario": "baseline"}, {"batch": 8}, {"precision": "fp16"},
+        {"infinite_bw": True}, {"bandwidth_scale": 0.5},
+    ):
+        import dataclasses
+        other = dataclasses.replace(base, **change)
+        assert other.key() != base.key(), change
+    # Hardware-side axes leave the graph-side keys untouched (that is
+    # exactly what lets hardware sweeps share built graphs).
+    import dataclasses
+    other_hw = dataclasses.replace(base, hardware="knights_landing")
+    assert other_hw.graph_key() == base.graph_key()
+    assert other_hw.scenario_key() == base.scenario_key()

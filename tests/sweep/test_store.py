@@ -1,0 +1,65 @@
+"""SweepResult query API: lookups, projections, and their error types."""
+
+import pytest
+
+from repro.errors import SweepSpecError
+from repro.sweep import SweepSpec, run_sweep
+
+GRID = SweepSpec(
+    name="store",
+    models=("tiny_cnn", "tiny_resnet"),
+    scenarios=("baseline", "bnff"),
+    batches=(4,),
+)
+
+
+@pytest.fixture(scope="module")
+def store():
+    return run_sweep(GRID)
+
+
+def test_only_raises_keyerror_on_ambiguous_or_empty_queries(store):
+    with pytest.raises(KeyError, match="matched 2 rows"):
+        store.only(scenario="bnff")
+    with pytest.raises(KeyError, match="matched 0 rows"):
+        store.only(model="tiny_cnn", batch=999)
+    row = store.only(model="tiny_cnn", scenario="bnff")
+    assert row.cell.model == "tiny_cnn"
+
+
+def test_unknown_column_and_axis_raise_spec_errors(store):
+    with pytest.raises(SweepSpecError, match="unknown column"):
+        store.column("nope")
+    with pytest.raises(SweepSpecError, match="unknown axis"):
+        store.filter(nope="x")
+
+
+def test_filter_accepts_scalars_and_collections(store):
+    assert len(store.filter(model="tiny_cnn")) == 2
+    assert len(store.filter(model=("tiny_cnn", "tiny_resnet"),
+                            scenario={"baseline"})) == 2
+    assert len(store.filter(model="tiny_cnn", scenario="bnff")) == 1
+
+
+def test_to_table_projects_axes_and_metrics(store):
+    rows = store.to_table(["model", "scenario", "total_time_s"])
+    assert len(rows) == 4
+    assert rows[0][:2] == ("tiny_cnn", "baseline")
+    assert all(isinstance(r[2], float) for r in rows)
+
+
+def test_varying_axes_and_axis_values(store):
+    assert store.varying_axes() == ["model", "scenario"]
+    assert store.axis_values("model") == ["tiny_cnn", "tiny_resnet"]
+    assert store.filter(model="tiny_cnn").varying_axes() == ["scenario"]
+
+
+def test_group_by_partitions_in_first_appearance_order(store):
+    groups = store.group_by("scenario")
+    assert list(groups) == ["baseline", "bnff"]
+    assert all(len(sub) == 2 for sub in groups.values())
+    # BNFF must beat baseline on both models (sanity on real numbers).
+    for model in GRID.models:
+        base = store.cost(model=model, scenario="baseline")
+        bnff = store.cost(model=model, scenario="bnff")
+        assert bnff.total_time_s < base.total_time_s

@@ -18,7 +18,7 @@ from typing import List
 from repro.analysis.scenarios import ScenarioResult, scenario_results_from_costs
 from repro.analysis.tables import format_table
 from repro.perf.footprint import footprint_savings
-from repro.sweep import GraphCache, SweepSpec, run_sweep
+from repro.sweep import GraphCache, SweepSpec, active_session, run_sweep
 
 #: Not in the paper — our own predictions, pinned by the bench for
 #: regression detection.
@@ -63,8 +63,12 @@ class MobilenetResult:
 
 
 def run(batch: int = 120) -> MobilenetResult:
-    cache = GraphCache()
-    store = run_sweep([g.subset(batch=batch) for g in GRIDS], cache=cache)
+    # Ride the active session (and its warm/persistent caches) when the
+    # CLI installed one; a private cache would bypass it and re-price.
+    session = active_session()
+    cache = session.cache if session is not None else GraphCache()
+    store = run_sweep([g.subset(batch=batch) for g in GRIDS],
+                      cache=None if session is not None else cache)
     results = scenario_results_from_costs(
         store.filter(model="mobilenet_v1").costs()
     )

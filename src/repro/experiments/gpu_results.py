@@ -21,9 +21,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List
 
-from repro.analysis.scenarios import ScenarioResult, compare_scenarios
+from repro.analysis.scenarios import ScenarioResult, scenario_results_from_costs
 from repro.analysis.tables import format_table
 from repro.hw.presets import PASCAL_TITAN_X, PASCAL_TITAN_X_CUTLASS
+from repro.sweep import SweepSpec, run_sweep
 
 BATCH = 16  # the paper's CUTLASS mini-batch
 
@@ -34,6 +35,25 @@ PAPER = {
 }
 
 SCENARIOS = ("baseline", "rcf", "rcf_mvf", "bnff")
+
+#: The CUTLASS evaluation grid plus the cuDNN-baseline reference leg
+#: (different hardware x scenario slices, so two specs, not one product).
+GRIDS = (
+    SweepSpec(
+        name="gpu_cutlass",
+        models=("densenet121", "resnet50"),
+        hardware=(PASCAL_TITAN_X_CUTLASS.name,),
+        scenarios=SCENARIOS,
+        batches=(BATCH,),
+    ),
+    SweepSpec(
+        name="gpu_cudnn_baseline",
+        models=("densenet121", "resnet50"),
+        hardware=(PASCAL_TITAN_X.name,),
+        scenarios=("baseline",),
+        batches=(BATCH,),
+    ),
+)
 
 
 @dataclass(frozen=True)
@@ -49,16 +69,16 @@ class GpuResult:
 
 
 def run() -> GpuResult:
+    store = run_sweep(GRIDS)
     results, slowdown = {}, {}
     for model in ("densenet121", "resnet50"):
-        results[model] = compare_scenarios(
-            model, PASCAL_TITAN_X_CUTLASS, batch=BATCH, scenarios=SCENARIOS
-        )
-        cudnn = compare_scenarios(
-            model, PASCAL_TITAN_X, batch=BATCH, scenarios=("baseline",)
-        )
+        cutlass = store.filter(model=model,
+                               hardware=PASCAL_TITAN_X_CUTLASS.name)
+        results[model] = scenario_results_from_costs(cutlass.costs())
+        cudnn = store.cost(model=model, hardware=PASCAL_TITAN_X.name,
+                           scenario="baseline")
         slowdown[model] = (
-            results[model][0].cost.total_time_s / cudnn[0].cost.total_time_s
+            results[model][0].cost.total_time_s / cudnn.total_time_s
         )
     return GpuResult(results=results, cutlass_slowdown=slowdown)
 

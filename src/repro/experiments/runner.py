@@ -9,7 +9,13 @@ Usage::
     # Price a custom grid through the sweep engine:
     python -m repro.experiments sweep \\
         --models densenet121 resnet50 --scenarios baseline bnff \\
-        --batches 60 120 --parallel 4 --group-by model
+        --batches 60 120 --workers 4 --group-by model
+
+Both entry points execute on one :class:`~repro.sweep.SweepSession`: a
+single warm worker pool spans every experiment in the invocation, and —
+unless ``--no-persist`` — priced cells land in an on-disk cache
+(``--cache-dir``, default ``.sweep_cache``) keyed by content hashes, so
+re-running any figure after a restart prices nothing.
 """
 
 from __future__ import annotations
@@ -20,6 +26,33 @@ from typing import List, Optional
 
 from repro.experiments import EXPERIMENTS
 
+#: Default on-disk sweep-cache location (relative to the working dir).
+DEFAULT_CACHE_DIR = ".sweep_cache"
+
+
+def _add_session_args(parser: argparse.ArgumentParser) -> None:
+    """The session flags shared by the main runner and ``sweep``."""
+    parser.add_argument("--workers", "--parallel", dest="workers", type=int,
+                        default=None, metavar="N",
+                        help="worker processes for sweep pricing "
+                             "(default: serial; --parallel is an alias)")
+    parser.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR,
+                        metavar="DIR",
+                        help="on-disk sweep cache location "
+                             f"(default: {DEFAULT_CACHE_DIR})")
+    parser.add_argument("--no-persist", action="store_true",
+                        help="keep the sweep cache in memory only "
+                             "(skip the on-disk tier)")
+
+
+def _make_session(args: argparse.Namespace):
+    from repro.sweep import SweepSession
+
+    return SweepSession(
+        workers=args.workers,
+        cache_dir=None if args.no_persist else args.cache_dir,
+    )
+
 
 def sweep_main(argv: List[str]) -> int:
     """``sweep`` subcommand: declare a grid on the command line, print it."""
@@ -28,13 +61,7 @@ def sweep_main(argv: List[str]) -> int:
     from repro.hw.presets import preset_names
     from repro.models.registry import MODEL_BUILDERS
     from repro.passes.scenarios import SCENARIO_ORDER, SCENARIOS
-    from repro.sweep import (
-        AXES,
-        PRECISION_DTYPES,
-        GraphCache,
-        SweepSpec,
-        run_sweep,
-    )
+    from repro.sweep import AXES, PRECISION_DTYPES, SweepSpec
 
     parser = argparse.ArgumentParser(
         prog="repro-experiments sweep",
@@ -61,10 +88,9 @@ def sweep_main(argv: List[str]) -> int:
     parser.add_argument("--infinite-bw", action="store_true",
                         help="add the infinite-bandwidth axis value "
                              "(Figure 4 style) alongside the finite one")
-    parser.add_argument("--parallel", type=int, default=None, metavar="N",
-                        help="worker processes (default: serial)")
     parser.add_argument("--group-by", default=None, metavar="AXIS",
                         help="print one table per value of this axis")
+    _add_session_args(parser)
     args = parser.parse_args(argv)
 
     if args.group_by and args.group_by not in AXES:
@@ -72,7 +98,6 @@ def sweep_main(argv: List[str]) -> int:
               f"available: {AXES}", file=sys.stderr)
         return 2
 
-    cache = GraphCache()
     try:
         spec = SweepSpec(
             name="cli",
@@ -84,7 +109,8 @@ def sweep_main(argv: List[str]) -> int:
             infinite_bw=(False, True) if args.infinite_bw else (False,),
             bandwidth_scales=args.bandwidth_scales,
         )
-        store = run_sweep(spec, parallel=args.parallel, cache=cache)
+        with _make_session(args) as session:
+            store = session.run(spec)
     except SweepSpecError as e:
         print(f"invalid sweep: {e}", file=sys.stderr)
         return 2
@@ -111,11 +137,12 @@ def sweep_main(argv: List[str]) -> int:
         print("\n\n".join(blocks))
     else:
         print(table(store, f"sweep: {spec.size} cells"))
-    stats = cache.stats
-    where = (f"across {args.parallel} workers"
-             if args.parallel and args.parallel > 1 else "in-process")
+    stats = session.stats
+    where = (f"across {args.workers} workers"
+             if args.workers and args.workers > 1 else "in-process")
     print(f"\ncells: {len(store)}  priced: {stats.cost_misses} ({where})  "
-          f"cache hits: {stats.cost_hits}")
+          f"cache hits: {stats.cost_hits} memory + "
+          f"{stats.cost_disk_hits} disk")
     return 0
 
 
@@ -132,6 +159,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="experiment ids (default: all)")
     parser.add_argument("--list", action="store_true",
                         help="list available experiment ids and exit")
+    _add_session_args(parser)
     args = parser.parse_args(argv)
 
     if args.list:
@@ -146,11 +174,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"unknown experiment ids: {unknown}; use --list", file=sys.stderr)
         return 2
 
-    for eid in ids:
-        module = EXPERIMENTS[eid]
-        print("=" * 72)
-        print(module.render(module.run()))
-        print()
+    # One session for the whole invocation: every experiment's run_sweep
+    # call shares the warm pool and the (optionally persistent) caches.
+    from repro.sweep import use_session
+
+    with _make_session(args) as session, use_session(session):
+        for eid in ids:
+            module = EXPERIMENTS[eid]
+            print("=" * 72)
+            print(module.render(module.run()))
+            print()
     return 0
 
 

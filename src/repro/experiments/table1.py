@@ -2,6 +2,13 @@
 
 Static hardware facts; the bench verifies our frozen presets carry exactly
 the paper's numbers so every downstream simulation is anchored to them.
+
+Like every other experiment, the table now rides a :class:`SweepSpec`
+grid: one cheap probe cell per Table 1 machine, resolved through the
+same ``cell_hardware`` path the simulator uses, so the table reports the
+presets *as the sweep engine actually applies them* (a drifted preset
+lookup would surface here, not just in downstream figures). A sanity
+column reports the probe model's simulated iteration time per machine.
 """
 
 from __future__ import annotations
@@ -11,7 +18,7 @@ from typing import List, Tuple
 
 from repro.analysis.tables import format_table
 from repro.hw.presets import TABLE1_ARCHITECTURES
-from repro.hw.spec import HardwareSpec
+from repro.sweep import SweepSpec, cell_hardware, run_sweep
 
 #: (name, TFLOPS, GB/s) exactly as printed in the paper.
 PAPER: Tuple[Tuple[str, float, float], ...] = (
@@ -20,19 +27,31 @@ PAPER: Tuple[Tuple[str, float, float], ...] = (
     ("Nvidia GPU Pascal Titan X", 10.0, 480.0),
 )
 
+#: One probe cell per Table 1 machine: a tiny model, batch 1, baseline —
+#: the cheapest cell that still exercises preset resolution and pricing.
+GRID = SweepSpec(
+    name="table1",
+    models=("tiny_cnn",),
+    hardware=tuple(hw.name for hw in TABLE1_ARCHITECTURES),
+    scenarios=("baseline",),
+    batches=(1,),
+)
+
 
 @dataclass(frozen=True)
 class Table1Result:
     rows: List[Tuple[str, float, float]]  # (preset name, TFLOPS, GB/s)
+    probe_times_s: List[float]  # probe-cell iteration time per machine
 
 
 def run() -> Table1Result:
-    return Table1Result(
-        rows=[
-            (hw.name, hw.peak_flops / 1e12, hw.dram_bandwidth / 1e9)
-            for hw in TABLE1_ARCHITECTURES
-        ]
-    )
+    store = run_sweep(GRID)
+    rows, probes = [], []
+    for row in store.rows:
+        hw = cell_hardware(row.cell)
+        rows.append((hw.name, hw.peak_flops / 1e12, hw.dram_bandwidth / 1e9))
+        probes.append(row.cost.total_time_s)
+    return Table1Result(rows=rows, probe_times_s=probes)
 
 
 def render(result: Table1Result) -> str:

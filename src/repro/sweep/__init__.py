@@ -1,35 +1,71 @@
-"""Parallel sweep engine: declarative grids, memoized builds, columnar results.
+"""Parallel sweep engine: declarative grids, memoized builds, persistent
+caches, affinity scheduling, columnar results.
 
 The single execution path for grid-shaped measurements (every paper
 figure and every what-if study): declare a :class:`SweepSpec`, hand it
-to :func:`run_sweep`, query the returned :class:`SweepResult`.
+to :func:`run_sweep` — or to a long-lived :class:`SweepSession` for
+warm-pool, disk-backed reuse across calls — and query the returned
+:class:`SweepResult`.
 """
 
 from repro.sweep.cache import CacheStats, GraphCache, retype_graph
+from repro.sweep.persist import CACHE_FORMAT_VERSION, PersistentCache, PersistStats
 from repro.sweep.runner import (
     INFINITE_BW_KINDS,
+    SweepSession,
+    active_session,
     cell_hardware,
     enumerate_cells,
     price_cell,
     run_sweep,
+    use_session,
 )
-from repro.sweep.spec import AXES, PRECISION_DTYPES, SweepCell, SweepSpec
+from repro.sweep.schedule import (
+    CellGroup,
+    SchedulePlan,
+    WorkerBundle,
+    default_cost_estimate,
+    plan_schedule,
+)
+from repro.sweep.spec import (
+    AXES,
+    PRECISION_DTYPES,
+    SweepCell,
+    SweepSpec,
+    cost_key,
+    graph_key,
+    scenario_key,
+)
 from repro.sweep.store import METRICS, SweepResult, SweepRow
 
 __all__ = [
     "AXES",
+    "CACHE_FORMAT_VERSION",
     "CacheStats",
+    "CellGroup",
     "GraphCache",
     "INFINITE_BW_KINDS",
     "METRICS",
     "PRECISION_DTYPES",
+    "PersistStats",
+    "PersistentCache",
+    "SchedulePlan",
     "SweepCell",
     "SweepResult",
     "SweepRow",
+    "SweepSession",
     "SweepSpec",
+    "WorkerBundle",
+    "active_session",
     "cell_hardware",
+    "cost_key",
+    "default_cost_estimate",
     "enumerate_cells",
+    "graph_key",
+    "plan_schedule",
     "price_cell",
     "retype_graph",
     "run_sweep",
+    "scenario_key",
+    "use_session",
 ]

@@ -13,8 +13,17 @@ restructured graph. The :class:`GraphCache` memoizes all three stages —
 
 so a warm cache re-prices a whole figure grid without rebuilding or
 re-restructuring anything. Keys are content hashes (see
-:meth:`SweepCell.key`), never object identities, which makes the cache
-safe to share across sweeps and across :class:`SweepSpec` objects.
+:func:`repro.sweep.spec.graph_key` and friends), never object
+identities, which makes the cache safe to share across sweeps and
+across :class:`SweepSpec` objects.
+
+An optional :class:`~repro.sweep.persist.PersistentCache` adds a disk
+tier below the in-memory one: misses consult the disk before computing,
+and computes write through, so warm re-runs survive process restarts.
+Disk hits are counted separately from memory hits (``*_disk_hits``) and
+never as misses — ``graph_misses``/``scenario_misses``/``cost_misses``
+count *actual* builds, pass pipelines and pricings, which is what lets
+tests assert "this run computed nothing".
 
 Cached graphs are treated as immutable: ``apply_scenario`` already
 clones before mutating, and the simulator never writes to the graph.
@@ -22,14 +31,15 @@ clones before mutating, and the simulator never writes to the graph.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict
+from dataclasses import dataclass, field, fields
+from typing import Callable, Dict, Mapping, Optional, Union
 
 from repro.graph.graph import LayerGraph
 from repro.models.registry import build_model
 from repro.passes.scenarios import apply_scenario
 from repro.perf.report import IterationCost
-from repro.sweep.spec import PRECISION_DTYPES, SweepCell
+from repro.sweep.persist import PersistentCache
+from repro.sweep.spec import PRECISION_DTYPES, graph_key, scenario_key
 from repro.tensors.tensor_spec import TensorSpec
 
 
@@ -51,23 +61,58 @@ def retype_graph(graph: LayerGraph, precision: str) -> LayerGraph:
 
 @dataclass
 class CacheStats:
-    """Hit/miss counters per memoization stage."""
+    """Hit/miss counters per memoization stage.
+
+    ``*_hits`` are in-memory hits, ``*_disk_hits`` are loads served by the
+    persistent tier, ``*_misses`` are actual computations. Counters from
+    worker processes merge in via :meth:`merge`, so after a parallel run
+    the caller's stats describe everything that happened, not just the
+    caller-side bookkeeping.
+    """
 
     graph_hits: int = 0
     graph_misses: int = 0
+    graph_disk_hits: int = 0
     scenario_hits: int = 0
     scenario_misses: int = 0
+    scenario_disk_hits: int = 0
     cost_hits: int = 0
     cost_misses: int = 0
+    cost_disk_hits: int = 0
 
     def as_dict(self) -> Dict[str, int]:
         return dict(self.__dict__)
 
+    def merge(self, other: Union["CacheStats", Mapping[str, int]]) -> None:
+        """Add another stats record (e.g. a worker's delta) into this one."""
+        data = other.as_dict() if isinstance(other, CacheStats) else other
+        for f in fields(self):
+            setattr(self, f.name,
+                    getattr(self, f.name) + int(data.get(f.name, 0)))
+
+    def delta_since(self, snapshot: Mapping[str, int]) -> Dict[str, int]:
+        """Counter increments since an earlier :meth:`as_dict` snapshot."""
+        return {
+            name: value - int(snapshot.get(name, 0))
+            for name, value in self.as_dict().items()
+        }
+
+    @property
+    def computed_nothing(self) -> bool:
+        """True iff no graph build, pass pipeline or pricing ran."""
+        return not (self.graph_misses or self.scenario_misses
+                    or self.cost_misses)
+
 
 @dataclass
 class GraphCache:
-    """Three-stage content-keyed memo: build -> restructure -> price."""
+    """Three-stage content-keyed memo: build -> restructure -> price.
 
+    With a ``persist`` backend attached, each stage checks memory, then
+    disk, then computes (writing the result through to both tiers).
+    """
+
+    persist: Optional[PersistentCache] = None
     _graphs: Dict[str, LayerGraph] = field(default_factory=dict)
     _scenario_graphs: Dict[str, LayerGraph] = field(default_factory=dict)
     _costs: Dict[str, IterationCost] = field(default_factory=dict)
@@ -76,52 +121,84 @@ class GraphCache:
     # -- stage 1: built model graphs -----------------------------------------
     def base_graph(self, model: str, batch: int,
                    precision: str = "fp32") -> LayerGraph:
-        cell = SweepCell(model=model, hardware="skylake_2s",
-                         scenario="baseline", batch=batch, precision=precision)
-        key = cell.graph_key()
-        hit = key in self._graphs
-        if not hit:
+        key = graph_key(model, batch, precision)
+        if key in self._graphs:
+            self.stats.graph_hits += 1
+            return self._graphs[key]
+        graph = self.persist.load_graph(key) if self.persist else None
+        if graph is not None:
+            self.stats.graph_disk_hits += 1
+        else:
+            self.stats.graph_misses += 1
             graph = build_model(model, batch=batch)
             if precision != "fp32":
                 graph = retype_graph(graph, precision)
-            self._graphs[key] = graph
-        self.stats.graph_hits += hit
-        self.stats.graph_misses += not hit
-        return self._graphs[key]
+            if self.persist:
+                self.persist.store_graph(key, graph)
+        self._graphs[key] = graph
+        return graph
 
     # -- stage 2: restructured graphs ----------------------------------------
     def scenario_graph(self, model: str, batch: int, scenario: str,
                        precision: str = "fp32") -> LayerGraph:
-        cell = SweepCell(model=model, hardware="skylake_2s",
-                         scenario=scenario, batch=batch, precision=precision)
-        key = cell.scenario_key()
-        hit = key in self._scenario_graphs
-        if not hit:
+        key = scenario_key(model, batch, scenario, precision)
+        if key in self._scenario_graphs:
+            self.stats.scenario_hits += 1
+            return self._scenario_graphs[key]
+        graph = self.persist.load_graph(key) if self.persist else None
+        if graph is not None:
+            self.stats.scenario_disk_hits += 1
+        else:
+            self.stats.scenario_misses += 1
             base = self.base_graph(model, batch, precision)
             graph, _ = apply_scenario(base, scenario)
-            self._scenario_graphs[key] = graph
-        self.stats.scenario_hits += hit
-        self.stats.scenario_misses += not hit
-        return self._scenario_graphs[key]
+            if self.persist:
+                self.persist.store_graph(key, graph)
+        self._scenario_graphs[key] = graph
+        return graph
 
     # -- stage 3: priced cells -------------------------------------------------
-    def cost(self, key: str,
-             compute: Callable[[], IterationCost]) -> IterationCost:
-        """Memoized cell pricing: return the cached cost or compute it."""
-        hit = key in self._costs
-        if not hit:
-            self._costs[key] = compute()
-        self.stats.cost_hits += hit
-        self.stats.cost_misses += not hit
-        return self._costs[key]
+    def cost(self, key: str, compute: Callable[[], IterationCost],
+             probe_disk: bool = True) -> IterationCost:
+        """Memoized cell pricing: memory, then disk, then compute.
+
+        ``probe_disk=False`` skips the disk probe on a memory miss — for
+        callers (the session runner, pool workers) that just established
+        the key is not on disk and would only pay a wasted ``open``.
+        """
+        if key in self._costs:
+            self.stats.cost_hits += 1
+            return self._costs[key]
+        cost = self.load_persisted_cost(key) if probe_disk else None
+        if cost is None:
+            self.stats.cost_misses += 1
+            cost = compute()
+            if self.persist:
+                self.persist.store_cost(key, cost)
+            self._costs[key] = cost
+        return cost
 
     def cached_cost(self, key: str) -> IterationCost | None:
+        """In-memory lookup only (no disk probe, no stats)."""
         return self._costs.get(key)
+
+    def load_persisted_cost(self, key: str) -> IterationCost | None:
+        """Probe the disk tier, promoting a hit into memory (counted)."""
+        if self.persist is None:
+            return None
+        cost = self.persist.load_cost(key)
+        if cost is not None:
+            self.stats.cost_disk_hits += 1
+            self._costs[key] = cost
+        return cost
 
     def store_cost(self, key: str, cost: IterationCost) -> None:
         self._costs[key] = cost
+        if self.persist:
+            self.persist.store_cost(key, cost)
 
     def clear(self) -> None:
+        """Drop the in-memory tier (the disk tier, if any, is untouched)."""
         self._graphs.clear()
         self._scenario_graphs.clear()
         self._costs.clear()

@@ -1,0 +1,170 @@
+"""On-disk sweep cache: costs and graphs survive process restarts.
+
+The in-memory :class:`~repro.sweep.cache.GraphCache` dies with the
+process; this module gives it a disk tier keyed by the *same* content
+hashes (:func:`repro.sweep.spec.graph_key` /
+:func:`~repro.sweep.spec.scenario_key` / :func:`~repro.sweep.spec.cost_key`),
+so a warm re-run of any figure grid after a restart loads every priced
+cell instead of re-pricing it.
+
+Design constraints, in order:
+
+1. **Never wrong.** Entries are content-addressed, every file carries a
+   format version and a payload checksum, and a pickle round-trip of the
+   pure-float cost records is exact — a disk hit is bit-identical to the
+   compute it replaces (pinned by ``tests/sweep/test_persist.py``).
+2. **Never fatal.** A truncated, corrupted, foreign-format or
+   version-mismatched file is treated as a miss (and quarantined out of
+   the way), degrading to a cold compute — a half-written cache can slow
+   a run down but can never crash it or skew its numbers.
+3. **Safe under concurrency.** Writes go to a temp file in the target
+   directory and are published with :func:`os.replace`, so readers (and
+   competing writers of the same content-keyed entry) never observe a
+   partial file.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import tempfile
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.graph.graph import LayerGraph
+from repro.perf.report import IterationCost
+
+#: Bumped on any incompatible change to the entry layout or to the
+#: pickled payload types; old files then read as misses, not errors.
+CACHE_FORMAT_VERSION = 1
+
+#: Entry kind -> subdirectory. Costs and graphs live apart so a cache
+#: directory can be inspected (and selectively cleared) with plain ls/rm.
+_KIND_DIRS = {"cost": "costs", "graph": "graphs"}
+
+
+@dataclass
+class PersistStats:
+    """Disk-tier traffic counters (loads that hit, loads that missed,
+    writes, and files rejected as corrupt/incompatible)."""
+
+    loads: int = 0
+    load_misses: int = 0
+    stores: int = 0
+    rejected: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return dict(self.__dict__)
+
+
+@dataclass
+class PersistentCache:
+    """Content-keyed pickle store under one cache directory.
+
+    Every entry is a single file ``<kind-dir>/<key>.pkl`` holding a
+    pickled envelope ``{format, kind, key, sha256, payload}`` where
+    ``payload`` is the pickled object and ``sha256`` its checksum. Loads
+    validate the whole envelope and return ``None`` on any mismatch.
+    """
+
+    root: str
+    stats: PersistStats = field(default_factory=PersistStats)
+
+    def __post_init__(self) -> None:
+        self.root = os.path.abspath(os.path.expanduser(str(self.root)))
+
+    # -- paths ---------------------------------------------------------------
+    def path_for(self, kind: str, key: str) -> str:
+        return os.path.join(self.root, _KIND_DIRS[kind], f"{key}.pkl")
+
+    # -- generic load/store --------------------------------------------------
+    def load(self, kind: str, key: str):
+        """The stored object, or ``None`` on miss/corruption/version skew."""
+        path = self.path_for(kind, key)
+        self.stats.loads += 1
+        try:
+            with open(path, "rb") as fh:
+                envelope = pickle.load(fh)
+        except FileNotFoundError:
+            self.stats.load_misses += 1
+            return None
+        except Exception:
+            # Truncated or garbage pickle stream: quarantine and miss.
+            self._reject(path)
+            return None
+        if not self._envelope_ok(envelope, kind, key):
+            self._reject(path)
+            return None
+        try:
+            return pickle.loads(envelope["payload"])
+        except Exception:
+            self._reject(path)
+            return None
+
+    def store(self, kind: str, key: str, obj) -> None:
+        """Atomically publish *obj* under (kind, key); last writer wins.
+
+        Entries are content-addressed, so an existing file already holds
+        this exact content — skip the write instead of re-publishing.
+        """
+        path = self.path_for(kind, key)
+        if os.path.exists(path):
+            return
+        payload = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+        envelope = pickle.dumps({
+            "format": CACHE_FORMAT_VERSION,
+            "kind": kind,
+            "key": key,
+            "sha256": hashlib.sha256(payload).hexdigest(),
+            "payload": payload,
+        }, protocol=pickle.HIGHEST_PROTOCOL)
+        directory = os.path.dirname(path)
+        os.makedirs(directory, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                fh.write(envelope)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self.stats.stores += 1
+
+    # -- typed helpers -------------------------------------------------------
+    def load_cost(self, key: str) -> Optional[IterationCost]:
+        return self.load("cost", key)
+
+    def store_cost(self, key: str, cost: IterationCost) -> None:
+        self.store("cost", key, cost)
+
+    def load_graph(self, key: str) -> Optional[LayerGraph]:
+        return self.load("graph", key)
+
+    def store_graph(self, key: str, graph: LayerGraph) -> None:
+        self.store("graph", key, graph)
+
+    # -- internals -----------------------------------------------------------
+    def _envelope_ok(self, envelope, kind: str, key: str) -> bool:
+        if not isinstance(envelope, dict):
+            return False
+        if envelope.get("format") != CACHE_FORMAT_VERSION:
+            return False
+        if envelope.get("kind") != kind or envelope.get("key") != key:
+            return False
+        payload = envelope.get("payload")
+        if not isinstance(payload, bytes):
+            return False
+        return hashlib.sha256(payload).hexdigest() == envelope.get("sha256")
+
+    def _reject(self, path: str) -> None:
+        """Move an unreadable entry aside so the next store can heal it."""
+        self.stats.load_misses += 1
+        self.stats.rejected += 1
+        try:
+            os.replace(path, path + ".rejected")
+        except OSError:
+            pass

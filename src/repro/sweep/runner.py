@@ -7,26 +7,45 @@ priced once each, and the results are assembled **in cell-enumeration
 order** regardless of how many workers priced them, so serial and
 parallel runs produce the same store cell-for-cell.
 
-Parallel mode fans the unique cells over a ``multiprocessing`` pool.
-Each worker process holds its own :class:`GraphCache`, so cells that
-share a built graph or a restructured graph still reuse it within a
-worker; ``Pool.map`` hands out contiguous chunks, which keeps a model's
-scenarios together and makes those prefix hits likely. The pricing
-arithmetic is pure float computation on immutable inputs, so a parallel
-run is bit-identical to a serial one.
+Execution lives in :class:`SweepSession`, which owns the three pricing
+tiers end to end:
+
+* a :class:`GraphCache` (optionally backed by an on-disk
+  :class:`~repro.sweep.persist.PersistentCache`, so warm re-runs survive
+  process restarts);
+* a **long-lived worker pool** reused across ``session.run`` calls — no
+  per-figure fork storms, and worker-side caches stay warm between runs;
+* the affinity scheduler (:mod:`repro.sweep.schedule`): unique cells are
+  grouped by restructured graph, groups sharing a built graph travel as
+  one indivisible bundle, and bundles dispatch heaviest-first — so
+  prefix cache hits inside a worker are guaranteed, not merely likely.
+
+Workers ship their :class:`CacheStats` deltas back with the priced
+cells, and the session merges them into the caller-visible stats, so
+hit/miss reporting after a parallel run reflects what actually happened.
+The pricing arithmetic is pure float computation on immutable inputs, so
+serial, parallel and disk-warmed runs are all bit-identical.
+
+``run_sweep`` remains the convenience front door: it delegates to the
+active session installed by :func:`use_session` (the experiments CLI
+installs one around a whole multi-figure run), or spins up an ephemeral
+session for the single call.
 """
 
 from __future__ import annotations
 
+import contextlib
 import multiprocessing
-from typing import List, Optional, Sequence, Union
+from typing import List, Optional, Sequence, Tuple, Union
 
 from repro.analysis.bandwidth import FIG4_KINDS
 from repro.hw.presets import get_preset
 from repro.hw.spec import HardwareSpec
 from repro.perf.report import IterationCost
 from repro.perf.simulator import simulate
-from repro.sweep.cache import GraphCache
+from repro.sweep.cache import CacheStats, GraphCache
+from repro.sweep.persist import PersistentCache
+from repro.sweep.schedule import CostEstimate, plan_schedule
 from repro.sweep.spec import SweepCell, SweepSpec
 from repro.sweep.store import SweepResult
 
@@ -43,7 +62,8 @@ def cell_hardware(cell: SweepCell) -> HardwareSpec:
     return hw
 
 
-def price_cell(cell: SweepCell, cache: Optional[GraphCache] = None) -> IterationCost:
+def price_cell(cell: SweepCell, cache: Optional[GraphCache] = None,
+               probe_disk: bool = True) -> IterationCost:
     """Price one grid cell (graph build and restructuring memoized)."""
     cache = cache if cache is not None else GraphCache()
 
@@ -55,20 +75,35 @@ def price_cell(cell: SweepCell, cache: Optional[GraphCache] = None) -> Iteration
         return simulate(graph, cell_hardware(cell), scenario=cell.scenario,
                         infinite_bw_kinds=kinds)
 
-    return cache.cost(cell.key(), compute)
+    return cache.cost(cell.key(), compute, probe_disk=probe_disk)
 
 
 # -- worker-process plumbing ----------------------------------------------------
 _WORKER_CACHE: Optional[GraphCache] = None
 
 
-def _init_worker() -> None:
+def _init_worker(cache_dir: Optional[str] = None) -> None:
     global _WORKER_CACHE
-    _WORKER_CACHE = GraphCache()
+    persist = PersistentCache(cache_dir) if cache_dir else None
+    _WORKER_CACHE = GraphCache(persist=persist)
 
 
-def _price_cell_in_worker(cell: SweepCell) -> IterationCost:
-    return price_cell(cell, _WORKER_CACHE)
+def _price_bundle_in_worker(
+    cells: Tuple[SweepCell, ...],
+) -> Tuple[List[Tuple[str, IterationCost]], dict]:
+    """Price one affinity bundle; return (key, cost) pairs + stats delta.
+
+    The worker cache survives across bundles (and across ``session.run``
+    calls in a long-lived pool), so the delta — not the absolute counters
+    — is what this run actually did.
+    """
+    cache = _WORKER_CACHE if _WORKER_CACHE is not None else GraphCache()
+    snapshot = cache.stats.as_dict()
+    # The session already established these keys are not on disk, so the
+    # worker skips the cost-tier disk probe (graph loads still happen).
+    priced = [(cell.key(), price_cell(cell, cache, probe_disk=False))
+              for cell in cells]
+    return priced, cache.stats.delta_since(snapshot)
 
 
 def enumerate_cells(
@@ -82,10 +117,186 @@ def enumerate_cells(
     return cells
 
 
+class SweepSession:
+    """Reusable sweep execution context: caches, scheduler, warm pool.
+
+    Parameters
+    ----------
+    workers:
+        Default worker-process count for :meth:`run`; ``None`` or ``1``
+        prices serially in-process. The pool is created on first
+        parallel use and kept warm until :meth:`close`.
+    cache:
+        A :class:`GraphCache` to adopt (e.g. one pre-warmed by earlier
+        direct ``run_sweep`` calls). A fresh one is created otherwise.
+        NOTE: when ``cache_dir`` is also given, the adopted cache gets
+        the persistent tier attached *permanently* — it keeps reading
+        and writing the cache directory after the session closes.
+    cache_dir:
+        Directory for the persistent tier. When set, the session's cache
+        — and every worker's — reads and writes content-keyed cost/graph
+        files there, so re-runs after a restart price nothing.
+    estimate:
+        Optional per-cell cost estimate for the scheduler's bin packing.
+    """
+
+    def __init__(
+        self,
+        workers: Optional[int] = None,
+        cache: Optional[GraphCache] = None,
+        cache_dir: Optional[str] = None,
+        estimate: Optional[CostEstimate] = None,
+    ):
+        persist = PersistentCache(cache_dir) if cache_dir else None
+        if cache is None:
+            cache = GraphCache(persist=persist)
+        elif persist is not None and cache.persist is None:
+            cache.persist = persist
+        self.cache = cache
+        self.workers = workers
+        self.estimate = estimate
+        self._pool: Optional[multiprocessing.pool.Pool] = None
+        self._pool_size = 0
+
+    # -- lifecycle -----------------------------------------------------------
+    @property
+    def stats(self) -> CacheStats:
+        """Merged stats: session-side activity plus worker deltas."""
+        return self.cache.stats
+
+    @property
+    def cache_dir(self) -> Optional[str]:
+        return self.cache.persist.root if self.cache.persist else None
+
+    def close(self) -> None:
+        """Shut the worker pool down (caches are kept)."""
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+            self._pool_size = 0
+
+    def __enter__(self) -> "SweepSession":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def _pool_for(self, workers: int, bundles: int):
+        """The warm pool, grown to fit the current run.
+
+        Size is capped by this run's bundle count (extra processes could
+        never receive work). A later run wanting more parallelism than
+        the pool has is the one case that re-forks — the pool is
+        replaced at the larger size, and since it only ever grows, that
+        happens at most a handful of times per session (never once the
+        configured ``workers`` is reached). Excess bundles queue.
+        """
+        target = max(1, min(workers, bundles))
+        if self._pool is not None and self._pool_size < target:
+            self.close()
+        if self._pool is None:
+            self._pool = multiprocessing.Pool(
+                target,
+                initializer=_init_worker,
+                initargs=(self.cache_dir,),
+            )
+            self._pool_size = target
+        return self._pool
+
+    # -- execution -----------------------------------------------------------
+    def run(
+        self,
+        spec: Union[SweepSpec, Sequence[SweepSpec]],
+        workers: Optional[int] = None,
+    ) -> SweepResult:
+        """Price a grid and return the queryable result store.
+
+        ``workers`` overrides the session default for this run only.
+        """
+        cells = enumerate_cells(spec)
+        cache = self.cache
+
+        # Deduplicate by content key: identical cells (within or across
+        # specs) are priced once and fanned back out to every position.
+        unique: List[SweepCell] = []
+        seen = set()
+        for cell in cells:
+            if cell.key() not in seen:
+                seen.add(cell.key())
+                unique.append(cell)
+
+        # Tier 1: cells already in memory never reach the scheduler.
+        to_price = [c for c in unique if cache.cached_cost(c.key()) is None]
+        cache.stats.cost_hits += len(unique) - len(to_price)
+
+        # Tier 2: cells on disk load here, so a warm-disk run prices
+        # nothing and forks nothing.
+        if cache.persist is not None:
+            to_price = [
+                c for c in to_price
+                if cache.load_persisted_cost(c.key()) is None
+            ]
+
+        # Tier 3: genuinely cold cells — schedule and price.
+        workers = self.workers if workers is None else workers
+        if workers and workers > 1 and len(to_price) > 1:
+            plan = plan_schedule(to_price, workers, self.estimate)
+            pool = self._pool_for(workers, len(plan.bundles))
+            for priced, delta in pool.map(
+                _price_bundle_in_worker,
+                [bundle.cells for bundle in plan.bundles],
+                chunksize=1,
+            ):
+                cache.stats.merge(delta)
+                for key, cost in priced:
+                    cache.store_cost(key, cost)
+        else:
+            for cell in to_price:
+                # Tier 2 above already established the disk misses.
+                price_cell(cell, cache, probe_disk=False)
+
+        return SweepResult.from_cells(
+            cells, {c.key(): cache.cached_cost(c.key()) for c in unique}
+        )
+
+
+# -- the active-session hook (installed by the experiments CLI) -----------------
+_ACTIVE_SESSION: Optional[SweepSession] = None
+
+
+def active_session() -> Optional[SweepSession]:
+    """The session installed by :func:`use_session`, if any.
+
+    Experiments that need more than ``run_sweep`` (e.g. direct access to
+    the session's graph cache) use this to ride the shared session
+    instead of creating a private cache that would bypass it.
+    """
+    return _ACTIVE_SESSION
+
+
+@contextlib.contextmanager
+def use_session(session: SweepSession):
+    """Route bare ``run_sweep`` calls through *session* inside the block.
+
+    Lets the experiment modules keep their one-line ``run_sweep(GRID)``
+    calls while a CLI run shares a single warm pool and persistent cache
+    across every figure. Calls that pass their own ``cache`` keep their
+    isolation and bypass the session.
+    """
+    global _ACTIVE_SESSION
+    previous, _ACTIVE_SESSION = _ACTIVE_SESSION, session
+    try:
+        yield session
+    finally:
+        _ACTIVE_SESSION = previous
+
+
 def run_sweep(
     spec: Union[SweepSpec, Sequence[SweepSpec]],
     parallel: Optional[int] = None,
     cache: Optional[GraphCache] = None,
+    cache_dir: Optional[str] = None,
 ) -> SweepResult:
     """Price a sweep grid and return the queryable result store.
 
@@ -99,34 +310,15 @@ def run_sweep(
     cache:
         A :class:`GraphCache` to reuse across calls. A warm cache skips
         graph builds, pass pipelines *and* pricing for cells it has seen.
+    cache_dir:
+        Adds an on-disk tier (see :class:`SweepSession`).
+
+    Inside a :func:`use_session` block, calls that don't pass an explicit
+    ``cache``/``cache_dir`` execute on the active session (warm pool,
+    shared caches); otherwise an ephemeral session runs this call alone.
     """
-    cells = enumerate_cells(spec)
-    cache = cache if cache is not None else GraphCache()
-
-    # Deduplicate by content key: identical cells (within or across specs)
-    # are priced once and fanned back out to every position.
-    unique: List[SweepCell] = []
-    seen = set()
-    for cell in cells:
-        if cell.key() not in seen:
-            seen.add(cell.key())
-            unique.append(cell)
-
-    # Cells the caller's cache already priced never reach the pool.
-    to_price = [c for c in unique if cache.cached_cost(c.key()) is None]
-    cache.stats.cost_hits += len(unique) - len(to_price)
-
-    if parallel and parallel > 1 and len(to_price) > 1:
-        processes = min(parallel, len(to_price))
-        with multiprocessing.Pool(processes, initializer=_init_worker) as pool:
-            priced = pool.map(_price_cell_in_worker, to_price)
-        cache.stats.cost_misses += len(to_price)
-        for cell, cost in zip(to_price, priced):
-            cache.store_cost(cell.key(), cost)
-    else:
-        for cell in to_price:
-            price_cell(cell, cache)
-
-    return SweepResult.from_cells(
-        cells, {c.key(): cache.cached_cost(c.key()) for c in unique}
-    )
+    if cache is None and cache_dir is None and _ACTIVE_SESSION is not None:
+        return _ACTIVE_SESSION.run(spec, workers=parallel)
+    with SweepSession(workers=parallel, cache=cache,
+                      cache_dir=cache_dir) as session:
+        return session.run(spec)

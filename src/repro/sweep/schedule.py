@@ -1,0 +1,163 @@
+"""Affinity scheduling: which cells travel together, and in what order.
+
+The memoization hierarchy (build -> restructure -> price) only pays off
+in a parallel run if cells that share a cached prefix land in the same
+worker process. ``Pool.map`` over a flat cell list makes that *likely*
+(contiguous chunks); this module makes it a *guarantee*:
+
+* a :class:`CellGroup` is every unique cell sharing one restructured
+  graph (same ``scenario_key`` — the cells differ only in hardware-side
+  axes), and is never split;
+* a :class:`WorkerBundle` is every group sharing one built graph (same
+  ``graph_key``), so all scenarios of one (model, batch, precision)
+  build that graph exactly once, wherever the bundle runs;
+* :func:`plan_schedule` orders bundles heaviest-first (longest
+  processing time first — the classic LPT heuristic), so the largest
+  model's work starts immediately instead of serializing at the tail,
+  and computes a deterministic least-loaded worker assignment.
+
+Weights come from a cost estimate, not a measurement: pricing walks the
+graph's ledger once per hardware variant and the pass pipeline runs once
+per group, so ``batch x (1 + pipeline length)`` is a cheap monotone
+proxy. A custom ``estimate`` callable can replace it (e.g. with observed
+node counts) without touching the packing logic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.passes.scenarios import SCENARIOS
+from repro.sweep.spec import SweepCell
+
+#: Estimate of one cell's cold pricing cost, in arbitrary units.
+CostEstimate = Callable[[SweepCell], float]
+
+
+def default_cost_estimate(cell: SweepCell) -> float:
+    """Relative cold cost of one cell.
+
+    Simulation work scales with the graph's ledger size — unknown without
+    building — so batch size stands in for it (bigger batches mean the
+    same layers sweep more bytes), and the scenario's pass-pipeline
+    length accounts for the one-time restructuring each group runs.
+    """
+    return float(cell.batch) * (1 + len(SCENARIOS[cell.scenario]))
+
+
+@dataclass(frozen=True)
+class CellGroup:
+    """Unique cells sharing one restructured graph (one ``scenario_key``)."""
+
+    scenario_key: str
+    graph_key: str
+    cells: Tuple[SweepCell, ...]
+    weight: float
+
+    def __len__(self) -> int:
+        return len(self.cells)
+
+
+@dataclass(frozen=True)
+class WorkerBundle:
+    """Groups sharing one built graph — the indivisible unit of dispatch."""
+
+    graph_key: str
+    groups: Tuple[CellGroup, ...]
+
+    @property
+    def cells(self) -> Tuple[SweepCell, ...]:
+        return tuple(c for g in self.groups for c in g.cells)
+
+    @property
+    def weight(self) -> float:
+        return sum(g.weight for g in self.groups)
+
+    def __len__(self) -> int:
+        return sum(len(g) for g in self.groups)
+
+
+@dataclass(frozen=True)
+class SchedulePlan:
+    """Dispatch-ordered bundles plus a deterministic worker assignment."""
+
+    bundles: Tuple[WorkerBundle, ...]
+    workers: int
+
+    @property
+    def cells(self) -> Tuple[SweepCell, ...]:
+        return tuple(c for b in self.bundles for c in b.cells)
+
+    def assignments(self) -> List[List[WorkerBundle]]:
+        """LPT packing: each bundle onto the least-loaded worker so far.
+
+        Ties break toward the lowest worker index, so the same plan always
+        yields the same assignment.
+        """
+        bins: List[List[WorkerBundle]] = [[] for _ in range(self.workers)]
+        loads = [0.0] * self.workers
+        for bundle in self.bundles:
+            target = loads.index(min(loads))
+            bins[target].append(bundle)
+            loads[target] += bundle.weight
+        return bins
+
+
+def group_cells(
+    cells: Sequence[SweepCell],
+    estimate: Optional[CostEstimate] = None,
+) -> List[CellGroup]:
+    """Group *cells* by ``scenario_key``, in first-appearance order.
+
+    Duplicate cells (same cost key) are assumed to have been removed by
+    the caller; within a group, cell order is enumeration order.
+    """
+    estimate = estimate or default_cost_estimate
+    grouped: Dict[str, List[SweepCell]] = {}
+    graph_keys: Dict[str, str] = {}
+    for cell in cells:
+        skey = cell.scenario_key()
+        grouped.setdefault(skey, []).append(cell)
+        graph_keys.setdefault(skey, cell.graph_key())
+    return [
+        CellGroup(
+            scenario_key=skey,
+            graph_key=graph_keys[skey],
+            cells=tuple(members),
+            weight=sum(estimate(c) for c in members),
+        )
+        for skey, members in grouped.items()
+    ]
+
+
+def bundle_groups(groups: Sequence[CellGroup]) -> List[WorkerBundle]:
+    """Merge groups sharing a ``graph_key`` into one dispatch bundle."""
+    by_graph: Dict[str, List[CellGroup]] = {}
+    for group in groups:
+        by_graph.setdefault(group.graph_key, []).append(group)
+    return [
+        WorkerBundle(graph_key=gkey, groups=tuple(members))
+        for gkey, members in by_graph.items()
+    ]
+
+
+def plan_schedule(
+    cells: Sequence[SweepCell],
+    workers: int,
+    estimate: Optional[CostEstimate] = None,
+) -> SchedulePlan:
+    """Build the dispatch plan for *cells* over *workers* processes.
+
+    Bundles are sorted heaviest-first (stable on enumeration order for
+    equal weights), which both feeds the LPT assignment and, when bundles
+    are handed to a dynamically-balancing pool one at a time, puts the
+    longest-running model at the front of the queue.
+    """
+    bundles = bundle_groups(group_cells(cells, estimate))
+    order = sorted(range(len(bundles)),
+                   key=lambda i: (-bundles[i].weight, i))
+    return SchedulePlan(
+        bundles=tuple(bundles[i] for i in order),
+        workers=max(1, workers),
+    )

@@ -69,13 +69,12 @@ class SweepCell:
         return getattr(self, name)
 
     # -- content keys ----------------------------------------------------------
+    # The canonical key derivations live in the module-level helpers below
+    # (graph_key / scenario_key / cost_key) so the in-memory and on-disk
+    # caches share one key path without constructing throwaway cells.
     def graph_key(self) -> str:
         """Cache key of the built (unrestructured) model graph."""
-        return _digest({
-            "model": self.model,
-            "batch": self.batch,
-            "precision": self.precision,
-        })
+        return graph_key(self.model, self.batch, self.precision)
 
     def scenario_key(self) -> str:
         """Cache key of the scenario-restructured graph.
@@ -83,20 +82,13 @@ class SweepCell:
         Includes the scenario's expanded pass-class pipeline, so a change
         to the pipeline definition changes the key.
         """
-        return _digest({
-            "graph": self.graph_key(),
-            "scenario": self.scenario,
-            "pipeline": [cls.__name__ for cls in SCENARIOS[self.scenario]],
-        })
+        return scenario_key(self.model, self.batch, self.scenario,
+                            self.precision)
 
     def key(self) -> str:
         """Cache key of this cell's priced :class:`IterationCost`."""
-        return _digest({
-            "scenario_graph": self.scenario_key(),
-            "hardware": self.hardware,
-            "infinite_bw": self.infinite_bw,
-            "bandwidth_scale": repr(self.bandwidth_scale),
-        })
+        return cost_key(self.scenario_key(), self.hardware,
+                        self.infinite_bw, self.bandwidth_scale)
 
     def label(self) -> str:
         """Compact human-readable identity (CLI/report rows)."""
@@ -113,6 +105,41 @@ class SweepCell:
 def _digest(payload: dict) -> str:
     blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(blob.encode()).hexdigest()[:16]
+
+
+# -- key derivation (shared by the in-memory and on-disk caches) ---------------
+def graph_key(model: str, batch: int, precision: str = "fp32") -> str:
+    """Content key of a built (unrestructured) model graph."""
+    return _digest({
+        "model": model,
+        "batch": batch,
+        "precision": precision,
+    })
+
+
+def scenario_key(model: str, batch: int, scenario: str,
+                 precision: str = "fp32") -> str:
+    """Content key of a scenario-restructured graph.
+
+    Includes the scenario's expanded pass-class pipeline, so editing a
+    pipeline definition invalidates every dependent cached artifact.
+    """
+    return _digest({
+        "graph": graph_key(model, batch, precision),
+        "scenario": scenario,
+        "pipeline": [cls.__name__ for cls in SCENARIOS[scenario]],
+    })
+
+
+def cost_key(scenario_graph_key: str, hardware: str,
+             infinite_bw: bool = False, bandwidth_scale: float = 1.0) -> str:
+    """Content key of a priced cell: restructured graph + hardware axes."""
+    return _digest({
+        "scenario_graph": scenario_graph_key,
+        "hardware": hardware,
+        "infinite_bw": infinite_bw,
+        "bandwidth_scale": repr(bandwidth_scale),
+    })
 
 
 def _axis_tuple(name: str, values) -> tuple:

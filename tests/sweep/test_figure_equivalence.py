@@ -16,8 +16,23 @@ import pytest
 from repro.analysis.bandwidth import bandwidth_sweep, infinite_bandwidth_speedup
 from repro.analysis.breakdown import architecture_comparison, breakdown_table
 from repro.analysis.scenarios import compare_scenarios
-from repro.experiments import figure1, figure3, figure4, figure6, figure7, figure8
-from repro.hw.presets import KNIGHTS_LANDING, PASCAL_TITAN_X, SKYLAKE_2S
+from repro.experiments import (
+    figure1,
+    figure3,
+    figure4,
+    figure6,
+    figure7,
+    figure8,
+    gpu_results,
+    table1,
+)
+from repro.hw.presets import (
+    KNIGHTS_LANDING,
+    PASCAL_TITAN_X,
+    PASCAL_TITAN_X_CUTLASS,
+    SKYLAKE_2S,
+    TABLE1_ARCHITECTURES,
+)
 from repro.models.registry import build_model
 from repro.perf.simulator import simulate
 from repro.perf.timeline import iteration_timeline
@@ -89,6 +104,40 @@ def test_figure8_points_equal_serial_loop():
         assert p.bnff.total_time_s == ref.bnff.total_time_s
         assert p.bnff_gain == ref.bnff_gain
         assert p.baseline_non_conv_share == ref.baseline_non_conv_share
+
+
+def test_table1_rows_equal_preset_loop():
+    # The pre-sweep implementation read the frozen presets directly.
+    via_loop = [
+        (hw.name, hw.peak_flops / 1e12, hw.dram_bandwidth / 1e9)
+        for hw in TABLE1_ARCHITECTURES
+    ]
+    assert table1.run().rows == via_loop
+
+
+def test_gpu_results_equal_serial_loop():
+    via_sweep = gpu_results.run()
+    for model in ("densenet121", "resnet50"):
+        via_loop = compare_scenarios(
+            model, PASCAL_TITAN_X_CUTLASS, batch=gpu_results.BATCH,
+            scenarios=gpu_results.SCENARIOS,
+        )
+        cudnn = compare_scenarios(
+            model, PASCAL_TITAN_X, batch=gpu_results.BATCH,
+            scenarios=("baseline",),
+        )
+        sweep_results = via_sweep.results[model]
+        assert len(sweep_results) == len(via_loop)
+        for s, ref in zip(sweep_results, via_loop):
+            assert s.scenario == ref.scenario
+            assert s.cost.total_time_s == ref.cost.total_time_s
+            assert s.cost.dram_bytes == ref.cost.dram_bytes
+            assert s.total_gain == ref.total_gain
+            assert s.fwd_gain == ref.fwd_gain
+            assert s.bwd_gain == ref.bwd_gain
+        assert via_sweep.cutlass_slowdown[model] == (
+            via_loop[0].cost.total_time_s / cudnn[0].cost.total_time_s
+        )
 
 
 def test_figure7_warm_cache_rerun_is_measurably_faster():

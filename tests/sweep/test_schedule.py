@@ -1,0 +1,100 @@
+"""Affinity scheduler: groups never split, bundles share built graphs,
+dispatch order and worker assignment are deterministic."""
+
+from repro.sweep import (
+    SweepSpec,
+    default_cost_estimate,
+    plan_schedule,
+)
+from repro.sweep.schedule import bundle_groups, group_cells
+
+GRID = SweepSpec(
+    name="sched",
+    models=("tiny_cnn", "tiny_resnet", "tiny_densenet"),
+    hardware=("skylake_2s", "knights_landing"),
+    scenarios=("baseline", "rcf", "bnff"),
+    batches=(2, 4),
+)
+
+
+def test_every_cell_scheduled_exactly_once():
+    cells = GRID.cells()
+    plan = plan_schedule(cells, workers=3)
+    scheduled = [c.key() for c in plan.cells]
+    assert sorted(scheduled) == sorted(c.key() for c in cells)
+    assert len(set(scheduled)) == len(scheduled)
+
+
+def test_groups_never_split_a_scenario_key():
+    groups = group_cells(GRID.cells())
+    for group in groups:
+        assert {c.scenario_key() for c in group.cells} == {group.scenario_key}
+        assert {c.graph_key() for c in group.cells} == {group.graph_key}
+    # One group per unique scenario key, covering every cell.
+    assert len(groups) == len({c.scenario_key() for c in GRID.cells()})
+    assert sum(len(g) for g in groups) == len(GRID.cells())
+
+
+def test_bundles_keep_one_built_graph_together():
+    bundles = bundle_groups(group_cells(GRID.cells()))
+    assert len(bundles) == len({c.graph_key() for c in GRID.cells()})
+    for bundle in bundles:
+        assert {g.graph_key for g in bundle.groups} == {bundle.graph_key}
+    # A bundle holds every scenario of its (model, batch): 3 scenarios x
+    # 2 hardware presets here.
+    assert all(len(b) == 6 for b in bundles)
+
+
+def test_dispatch_order_is_heaviest_first():
+    plan = plan_schedule(GRID.cells(), workers=4)
+    weights = [b.weight for b in plan.bundles]
+    assert weights == sorted(weights, reverse=True)
+    # Batch 4 bundles (heavier by the estimate) all precede batch 2 ones.
+    batches = [b.cells[0].batch for b in plan.bundles]
+    assert batches == sorted(batches, reverse=True)
+
+
+def test_assignments_are_deterministic_and_complete():
+    cells = GRID.cells()
+    first = plan_schedule(cells, workers=3)
+    second = plan_schedule(cells, workers=3)
+    assert first == second
+    bins = first.assignments()
+    assert len(bins) == 3
+    assigned = [b.graph_key for bundles in bins for b in bundles]
+    assert sorted(assigned) == sorted(b.graph_key for b in first.bundles)
+
+
+def test_lpt_balances_loads():
+    plan = plan_schedule(GRID.cells(), workers=3)
+    loads = [sum(b.weight for b in bundles) for bundles in plan.assignments()]
+    total = sum(loads)
+    # LPT guarantees max load <= (4/3 - 1/3m) * optimum; optimum >= total/m.
+    # A loose sanity bound is enough here: nobody holds everything.
+    assert max(loads) < total
+    assert all(load > 0 for load in loads)
+
+
+def test_custom_estimate_reorders_dispatch():
+    cells = GRID.cells()
+    # Invert the default: make *small* batches expensive.
+    plan = plan_schedule(cells, workers=2,
+                         estimate=lambda c: 1.0 / default_cost_estimate(c))
+    batches = [b.cells[0].batch for b in plan.bundles]
+    assert batches == sorted(batches)
+
+
+def test_single_worker_plan_still_covers_everything():
+    plan = plan_schedule(GRID.cells(), workers=1)
+    [bundles] = plan.assignments()
+    assert sorted(b.graph_key for b in bundles) == sorted(
+        b.graph_key for b in plan.bundles
+    )
+
+
+def test_duplicate_free_grouping_preserves_enumeration_order_within_groups():
+    cells = GRID.cells()
+    position = {c.key(): i for i, c in enumerate(cells)}
+    for group in group_cells(cells):
+        indices = [position[c.key()] for c in group.cells]
+        assert indices == sorted(indices)

@@ -1,0 +1,163 @@
+"""SweepSession: session-vs-direct bit-identity, warm pool reuse,
+truthful merged stats, and zero-compute warm-disk re-runs."""
+
+import pytest
+
+from repro.sweep import (
+    GraphCache,
+    SweepSession,
+    SweepSpec,
+    run_sweep,
+    use_session,
+)
+
+GRID = SweepSpec(
+    name="sess",
+    models=("tiny_cnn", "tiny_resnet", "tiny_densenet"),
+    hardware=("skylake_2s", "knights_landing"),
+    scenarios=("baseline", "rcf", "bnff"),
+    batches=(2, 4),
+)
+
+
+def _totals(store):
+    return [
+        (r.cost.total_time_s, r.cost.fwd_time_s, r.cost.bwd_time_s,
+         r.cost.dram_bytes)
+        for r in store.rows
+    ]
+
+
+@pytest.fixture(scope="module")
+def direct():
+    return run_sweep(GRID)
+
+
+def test_serial_session_matches_direct_run(direct):
+    with SweepSession() as session:
+        store = session.run(GRID)
+    assert [r.cell for r in store.rows] == [r.cell for r in direct.rows]
+    assert _totals(store) == _totals(direct)
+    for s, d in zip(store.rows, direct.rows):
+        assert s.cost.nodes == d.cost.nodes
+
+
+def test_parallel_session_matches_direct_run(direct):
+    with SweepSession(workers=3) as session:
+        store = session.run(GRID)
+    assert _totals(store) == _totals(direct)
+    for s, d in zip(store.rows, direct.rows):
+        assert s.cost.nodes == d.cost.nodes
+
+
+def test_parallel_merged_stats_are_truthful():
+    cells = GRID.cells()
+    with SweepSession(workers=3) as session:
+        store = session.run(GRID)
+        stats = session.stats
+        # Every unique cell priced exactly once, somewhere.
+        assert stats.cost_misses == len(store) == len(cells)
+        # The affinity guarantee: each built graph and each restructured
+        # graph was computed exactly once across ALL workers — bundles
+        # sharing a graph key never split.
+        assert stats.graph_misses == len({c.graph_key() for c in cells})
+        assert stats.scenario_misses == len(
+            {c.scenario_key() for c in cells}
+        )
+
+
+def test_session_pool_survives_across_runs():
+    with SweepSession(workers=2) as session:
+        session.run(GRID.subset(model="tiny_cnn"))
+        pool = session._pool
+        assert pool is not None
+        session.run(GRID.subset(model="tiny_resnet"))
+        assert session._pool is pool  # no second fork storm
+    assert session._pool is None  # close() shut it down
+
+
+def test_session_pool_grows_for_wider_runs():
+    with SweepSession(workers=3) as session:
+        # One bundle only (one model, one batch): pool starts at size 1.
+        session.run(GRID.subset(model="tiny_cnn", batch=(2,)))
+        assert session._pool_size == 1
+        small_pool = session._pool
+        # A wider run must not stay throttled at the first run's width.
+        store = session.run(GRID.subset(model=("tiny_resnet",
+                                               "tiny_densenet")))
+        assert session._pool_size == 3
+        assert session._pool is not small_pool
+        assert len(store) == 24
+        # And the grown pool is reused, not re-forked, afterwards.
+        grown = session._pool
+        session.run(GRID.subset(model="tiny_resnet", batch=(8,)))
+        assert session._pool is grown
+
+
+def test_second_run_is_served_from_memory():
+    with SweepSession(workers=2) as session:
+        first = session.run(GRID)
+        again = session.run(GRID)
+        assert session.stats.cost_hits == len(first)
+        assert all(a.cost is f.cost for a, f in zip(again.rows, first.rows))
+
+
+def test_use_session_routes_bare_run_sweep_calls(direct):
+    with SweepSession() as session, use_session(session):
+        store = run_sweep(GRID)
+        assert session.stats.cost_misses == len(store)
+        # A second bare call rides the same session's warm cache.
+        again = run_sweep(GRID)
+        assert session.stats.cost_hits == len(store)
+        assert all(a.cost is s.cost for a, s in zip(again.rows, store.rows))
+    assert _totals(store) == _totals(direct)
+    # Outside the block, bare calls are independent again.
+    fresh = run_sweep(GRID.subset(model="tiny_cnn",
+                                  scenario="baseline", batch=(2,)))
+    assert fresh.rows[0].cost is not None
+    assert session.stats.cost_hits == len(store)  # untouched
+
+
+def test_explicit_cache_bypasses_active_session():
+    mine = GraphCache()
+    with SweepSession() as session, use_session(session):
+        run_sweep(GRID.subset(model="tiny_cnn", scenario="baseline"),
+                  cache=mine)
+    assert mine.stats.cost_misses > 0
+    assert session.stats.cost_misses == 0
+
+
+def test_warm_disk_session_computes_nothing(tmp_path, direct):
+    cache_dir = str(tmp_path / "cache")
+    with SweepSession(workers=3, cache_dir=cache_dir) as session:
+        cold = session.run(GRID)
+        assert session.stats.cost_misses == len(cold)
+
+    # "Restart": a brand-new session over the same directory.
+    with SweepSession(workers=3, cache_dir=cache_dir) as warm_session:
+        warm = warm_session.run(GRID)
+        stats = warm_session.stats
+        assert stats.computed_nothing
+        assert stats.cost_disk_hits == len(warm)
+        assert stats.graph_misses == 0 and stats.scenario_misses == 0
+        # Zero cold cells means the pool was never even forked.
+        assert warm_session._pool is None
+    assert _totals(warm) == _totals(cold) == _totals(direct)
+    for w, c in zip(warm.rows, cold.rows):
+        assert w.cost == c.cost
+
+
+def test_session_adopts_prewarmed_cache():
+    cache = GraphCache()
+    first = run_sweep(GRID, cache=cache)
+    with SweepSession(cache=cache) as session:
+        again = session.run(GRID)
+    assert session.stats.cost_hits == len(first)
+    assert all(a.cost is f.cost for a, f in zip(again.rows, first.rows))
+
+
+def test_run_sweep_parallel_override_inside_session(direct):
+    with SweepSession() as session, use_session(session):
+        store = run_sweep(GRID, parallel=2)
+        assert session._pool is not None
+    assert _totals(store) == _totals(direct)

@@ -10,6 +10,7 @@ script — runs any subset and prints paper-vs-measured.
 from repro.experiments import (
     ext_depth_scaling,
     ext_mobilenet,
+    ext_precision,
     figure1,
     figure3,
     figure4,
@@ -32,6 +33,7 @@ EXPERIMENTS = {
     "gpu": gpu_results,
     "ext_mobilenet": ext_mobilenet,
     "ext_depth_scaling": ext_depth_scaling,
+    "ext_precision": ext_precision,
 }
 
 __all__ = ["EXPERIMENTS"]

@@ -1,0 +1,150 @@
+"""Extension experiment: mixed-precision efficiency table (beyond the paper).
+
+The paper's central claim is that BN layers are memory-bandwidth-bound,
+which makes precision a lever, not a detail: halving the element size
+halves every sweep's DRAM traffic immediately, while the compute roof only
+moves on machines with real reduced-precision pipes. This experiment
+prices the paper's two evaluated models at fp32 and fp16, fused
+(``bnff``) and unfused (``baseline``), on two machines that bracket the
+design space:
+
+* ``skylake_2s`` — fp16 is *storage-only* (no AVX512-FP16 in that era):
+  the compute roof is unchanged, so the whole fp16 win is traffic, and it
+  concentrates exactly in the BN/ReLU layers the paper restructures;
+* ``volta_v100`` — tensor cores move the GEMM roof too (fp32
+  accumulation priced honestly: spilled partial sums and the final
+  downconvert are charged), so convolutions speed up alongside the lean
+  layers and the *relative* BN share stays high.
+
+The headline prediction: BNFF's fractional gain survives — and on
+compute-boosted machines grows — under mixed precision, because fp16
+shrinks BN's traffic and BN's compute roof by at most the same factor it
+shrinks convolution time. Restructuring and reduced precision compose;
+neither subsumes the other.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.analysis.tables import format_table
+from repro.perf.footprint import training_footprint
+from repro.perf.report import IterationCost
+from repro.sweep import GraphCache, SweepSpec, active_session, run_sweep
+
+#: Not in the paper — our own predictions, pinned by the bench for
+#: regression detection.
+PAPER = {
+    "note": "extension beyond the paper",
+    "expected_fp16_no_slower_anywhere": True,
+    "expected_bnff_gain_survives_fp16": True,
+}
+
+MODELS = ("densenet121", "resnet50")
+HARDWARE = ("skylake_2s", "volta_v100")
+PRECISIONS = ("fp32", "fp16")
+SCENARIOS = ("baseline", "bnff")
+
+GRID = SweepSpec(
+    name="ext_precision",
+    models=MODELS,
+    hardware=HARDWARE,
+    scenarios=SCENARIOS,
+    batches=(120,),
+    precisions=PRECISIONS,
+)
+
+
+@dataclass(frozen=True)
+class PrecisionRow:
+    """One (model, hardware, precision) leg: unfused vs fused cost."""
+
+    model: str
+    hardware: str
+    precision: str
+    baseline: IterationCost
+    bnff: IterationCost
+
+    @property
+    def bnff_gain(self) -> float:
+        """Fractional time reduction of BNFF at this precision."""
+        return 1.0 - self.bnff.total_time_s / self.baseline.total_time_s
+
+
+@dataclass(frozen=True)
+class PrecisionResult:
+    rows: List[PrecisionRow]
+    #: Retained activations of the fp16 BNFF DenseNet graph, plus the fp32
+    #: master weights mixed-precision training keeps for the update.
+    fp16_retained_bytes: int
+    fp16_master_weight_bytes: int
+
+    def row(self, model: str, hardware: str, precision: str) -> PrecisionRow:
+        for r in self.rows:
+            if (r.model, r.hardware, r.precision) == (model, hardware, precision):
+                return r
+        raise KeyError((model, hardware, precision))
+
+    def fp16_speedup(self, model: str, hardware: str,
+                     scenario: str = "baseline") -> float:
+        """fp32 / fp16 iteration-time ratio for one grid leg."""
+        fp32 = self.row(model, hardware, "fp32")
+        fp16 = self.row(model, hardware, "fp16")
+        pick = (lambda r: r.bnff) if scenario == "bnff" else (lambda r: r.baseline)
+        return pick(fp32).total_time_s / pick(fp16).total_time_s
+
+
+def run(batch: int = 120) -> PrecisionResult:
+    # Ride the active session (and its warm/persistent caches) when the
+    # CLI installed one; a private cache would bypass it and re-price.
+    session = active_session()
+    cache = session.cache if session is not None else GraphCache()
+    store = run_sweep(GRID.subset(batch=batch),
+                      cache=None if session is not None else cache)
+    rows = [
+        PrecisionRow(
+            model=m, hardware=h, precision=p,
+            baseline=store.cost(model=m, hardware=h, precision=p,
+                                scenario="baseline"),
+            bnff=store.cost(model=m, hardware=h, precision=p,
+                            scenario="bnff"),
+        )
+        for m in MODELS for h in HARDWARE for p in PRECISIONS
+    ]
+    # Mixed-precision footprint: the fp16 graph's retained activations
+    # plus the fp32 master weights (reuses the cache's built graph).
+    fp16_graph = cache.scenario_graph("densenet121", batch, "bnff", "fp16")
+    report = training_footprint(fp16_graph, master_dtype=np.dtype(np.float32))
+    return PrecisionResult(
+        rows=rows,
+        fp16_retained_bytes=report.retained_bytes,
+        fp16_master_weight_bytes=report.master_weight_bytes,
+    )
+
+
+def render(result: PrecisionResult) -> str:
+    table_rows = []
+    for r in result.rows:
+        speedup = result.fp16_speedup(r.model, r.hardware)
+        table_rows.append((
+            r.model, r.hardware, r.precision,
+            f"{r.baseline.total_time_s * 1000:.1f}",
+            f"{r.bnff.total_time_s * 1000:.1f}",
+            f"{r.bnff_gain * 100:.1f}%",
+            "-" if r.precision == "fp32" else f"{speedup:.2f}x",
+        ))
+    table = format_table(
+        ["model", "hardware", "precision", "baseline (ms)", "bnff (ms)",
+         "bnff gain", "fp16 speedup"],
+        table_rows,
+        title="Extension: mixed-precision efficiency (batch 120)",
+    )
+    return (
+        f"{table}\n"
+        f"fp16 DenseNet-121 BNFF retained activations: "
+        f"{result.fp16_retained_bytes / 1e9:.2f} GB "
+        f"+ {result.fp16_master_weight_bytes / 1e6:.1f} MB fp32 master weights"
+    )

@@ -43,14 +43,22 @@ def _add_session_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--no-persist", action="store_true",
                         help="keep the sweep cache in memory only "
                              "(skip the on-disk tier)")
+    parser.add_argument("--cache-max-mb", type=float, default=None,
+                        metavar="MB",
+                        help="cap the on-disk sweep cache at this many "
+                             "megabytes (least-recently-used entries are "
+                             "evicted; default: unbounded)")
 
 
 def _make_session(args: argparse.Namespace):
     from repro.sweep import SweepSession
 
+    max_bytes = (int(args.cache_max_mb * (1 << 20))
+                 if args.cache_max_mb else None)
     return SweepSession(
         workers=args.workers,
         cache_dir=None if args.no_persist else args.cache_dir,
+        max_cache_bytes=max_bytes,
     )
 
 

@@ -9,7 +9,7 @@ and a fixed per-primitive invocation overhead. Constants are calibrated
 once in :mod:`repro.hw.presets` and frozen for every experiment.
 """
 
-from repro.hw.spec import HardwareSpec
+from repro.hw.spec import PRECISION_BYTES, PRECISIONS, HardwareSpec
 from repro.hw.cache import CacheModel
 from repro.hw.presets import (
     SKYLAKE_2S,
@@ -18,17 +18,21 @@ from repro.hw.presets import (
     PASCAL_TITAN_X,
     PASCAL_TITAN_X_CUTLASS,
     TABLE1_ARCHITECTURES,
+    VOLTA_V100,
     get_preset,
 )
 
 __all__ = [
     "HardwareSpec",
     "CacheModel",
+    "PRECISIONS",
+    "PRECISION_BYTES",
     "SKYLAKE_2S",
     "SKYLAKE_2S_HALF_BW",
     "KNIGHTS_LANDING",
     "PASCAL_TITAN_X",
     "PASCAL_TITAN_X_CUTLASS",
     "TABLE1_ARCHITECTURES",
+    "VOLTA_V100",
     "get_preset",
 ]

@@ -19,6 +19,16 @@ Notes on individual constants:
   read-for-ownership, doubling write traffic.
 * ``conv_traffic_factor = 2.0``: blocked direct convolutions re-read input
   feature maps across output-channel tiles.
+
+Per-precision tables: the Table-1 machines predate fast half-precision
+pipes — Skylake-SP has no AVX512-FP16 and GP102's native fp16 FMA rate is
+vestigial — so on them fp16 is *storage-only*: compute converts to fp32 in
+registers (the fp32 peaks apply, the default fallback) and only the memory
+sweeps shrink. Their fp64 entries are the half-rate (CPU SIMD) /
+1:32-rate (GP102) DP pipes. ``volta_v100`` is the one preset with a real
+reduced-precision compute ceiling (tensor cores, fp32 accumulation) — the
+machine the paper's GPU mixed-precision training would use one generation
+later.
 """
 
 from __future__ import annotations
@@ -50,6 +60,10 @@ SKYLAKE_2S = HardwareSpec(
     fc_efficiency=0.45,
     bwd_efficiency_scale=0.90,
     call_overhead_s=50e-6,
+    # AVX-512 runs DP at half the SP rate; fp16 is storage-only (F16C
+    # converts, fp32 FMA pipes) and falls back to the fp32 peaks.
+    peak_flops_by_precision={"fp64": 1.67 * TFLOPS},
+    elementwise_ops_by_precision={"fp64": 1.28e12},
 )
 
 #: The same machine with memory channels clocked to half rate (Figure 8).
@@ -73,6 +87,8 @@ KNIGHTS_LANDING = HardwareSpec(
     fc_efficiency=0.30,
     bwd_efficiency_scale=0.90,
     call_overhead_s=80e-6,
+    peak_flops_by_precision={"fp64": 2.65 * TFLOPS},
+    elementwise_ops_by_precision={"fp64": 1.42e12},
 )
 
 #: Nvidia Pascal Titan X with cuDNN (Table 1: 10.0 TFLOPS, 480 GB/s).
@@ -94,12 +110,47 @@ PASCAL_TITAN_X = HardwareSpec(
     fc_efficiency=0.35,
     bwd_efficiency_scale=0.90,
     call_overhead_s=20e-6,
+    # GP102's native fp16 FMA rate (1:64) is slower than converting to
+    # fp32, so fp16 is storage-only here too; DP runs at 1:32.
+    peak_flops_by_precision={"fp64": 10.0 * TFLOPS / 32},
+    elementwise_ops_by_precision={"fp64": 5.1e12 / 32},
 )
 
 #: The same GPU running open-source CUTLASS kernels — the paper reports the
 #: CUTLASS baseline is ~3.6x slower than cuDNN (Section 5, footnote 3).
 PASCAL_TITAN_X_CUTLASS = PASCAL_TITAN_X.with_conv_efficiency_scale(
     1.0 / 3.6, suffix="_cutlass"
+)
+
+#: Nvidia Volta V100 (SXM2) — one generation past the paper's Table 1, and
+#: the first machine where the precision axis changes the *compute* roof,
+#: not just the traffic: 125 TFLOPS fp16 tensor cores with fp32
+#: accumulation against 15.7 TFLOPS fp32 FMA. Elementwise = one SP op per
+#: CUDA core per clock (5120 x 1.53 GHz), doubled for fp16 (half2 math).
+#: Tensor-core efficiency fractions are much lower than the fp32 ones —
+#: cuDNN-era DenseNet/ResNet shapes reach ~a fifth of the enormous peak —
+#: which is exactly the honesty the per-precision tables exist to encode.
+VOLTA_V100 = HardwareSpec(
+    name="volta_v100",
+    peak_flops=15.7 * TFLOPS,
+    elementwise_ops=7.8e12,
+    dram_bandwidth=900.0 * GB,
+    llc_bytes=int(6 * MB),
+    stream_efficiency=0.65,
+    elementwise_efficiency=0.55,
+    write_allocate_factor=2.0,
+    conv_traffic_factor=2.0,
+    conv_efficiency_by_kernel={1: 0.30, 3: 0.50, 5: 0.55, 7: 0.55, 11: 0.55},
+    fc_efficiency=0.35,
+    bwd_efficiency_scale=0.90,
+    call_overhead_s=10e-6,
+    peak_flops_by_precision={"fp16": 125.0 * TFLOPS, "fp64": 7.8 * TFLOPS},
+    elementwise_ops_by_precision={"fp16": 1.56e13, "fp64": 3.9e12},
+    conv_efficiency_by_precision={
+        "fp16": {1: 0.10, 3: 0.22, 5: 0.25, 7: 0.25, 11: 0.25},
+    },
+    fc_efficiency_by_precision={"fp16": 0.25},
+    accumulate_dtype="fp32",
 )
 
 #: Table 1 rows, in the paper's order.
@@ -111,6 +162,7 @@ _PRESETS: Dict[str, HardwareSpec] = {
     "knights_landing": KNIGHTS_LANDING,
     "pascal_titan_x": PASCAL_TITAN_X,
     "pascal_titan_x_cutlass": PASCAL_TITAN_X_CUTLASS,
+    "volta_v100": VOLTA_V100,
 }
 
 

@@ -5,9 +5,23 @@ from __future__ import annotations
 import dataclasses
 import math
 from dataclasses import dataclass, field
-from typing import Dict
+from typing import Dict, Tuple
 
 from repro.errors import HardwareSpecError
+
+#: The precisions the roofline model can price, narrowest first.
+PRECISIONS: Tuple[str, ...] = ("fp16", "fp32", "fp64")
+
+#: Element width of each precision (the traffic model's byte multiplier).
+PRECISION_BYTES: Dict[str, int] = {"fp16": 2, "fp32": 4, "fp64": 8}
+
+
+def _check_precision(name: str, precision: str) -> None:
+    if precision not in PRECISION_BYTES:
+        raise HardwareSpecError(
+            f"{name}: unknown precision {precision!r}; "
+            f"available: {PRECISIONS}"
+        )
 
 
 @dataclass(frozen=True)
@@ -63,6 +77,32 @@ class HardwareSpec:
         kernel moves more DRAM bytes than the one-sweep-per-tensor ideal.
         Elementwise layers stream each tensor exactly once and get no
         factor.
+    peak_flops_by_precision:
+        Per-precision FMA peaks (FLOP/s). The fp32 entry is auto-lifted
+        from ``peak_flops``; precisions without an entry fall back to the
+        fp32 peak, which models *storage-only* reduced precision (the
+        machine converts to fp32 in registers — true of pre-AVX512-FP16
+        CPUs and pre-tensor-core GPUs). Machines with real reduced- or
+        double-precision pipes (tensor cores, half-rate DP SIMD) override
+        entries explicitly.
+    elementwise_ops_by_precision:
+        Per-precision SIMD elementwise peaks (op/s); same auto-lift and
+        fallback rules as ``peak_flops_by_precision``.
+    conv_efficiency_by_precision:
+        Per-precision overrides of ``conv_efficiency_by_kernel``. A huge
+        tensor-core peak is reached at a much smaller fraction than the
+        fp32 peak, so the achieved-fraction table is precision-dependent,
+        not just the peak.
+    fc_efficiency_by_precision:
+        Per-precision overrides of ``fc_efficiency``.
+    accumulate_dtype:
+        Precision of GEMM partial-sum accumulation. Mixed-precision
+        training accumulates fp16 GEMMs in fp32 (tensor-core semantics,
+        and what keeps training numerically sound), so output tiles spill
+        at the *accumulate* width: CONV/FC write sweeps are priced at
+        ``max(element, accumulate)`` bytes per element, and the final
+        downconvert costs one elementwise op per output element. At fp32
+        this is exactly a no-op.
     """
 
     name: str
@@ -81,6 +121,13 @@ class HardwareSpec:
     fc_efficiency: float = 0.45
     bwd_efficiency_scale: float = 0.85
     call_overhead_s: float = 50e-6
+    peak_flops_by_precision: Dict[str, float] = field(default_factory=dict)
+    elementwise_ops_by_precision: Dict[str, float] = field(default_factory=dict)
+    conv_efficiency_by_precision: Dict[str, Dict[int, float]] = field(
+        default_factory=dict
+    )
+    fc_efficiency_by_precision: Dict[str, float] = field(default_factory=dict)
+    accumulate_dtype: str = "fp32"
 
     def __post_init__(self) -> None:
         for fld in ("peak_flops", "elementwise_ops", "dram_bandwidth"):
@@ -106,22 +153,120 @@ class HardwareSpec:
                 f"{self.name}: write_allocate_factor must be in [1, 2], got "
                 f"{self.write_allocate_factor}"
             )
+        self._lift_precision_tables()
+
+    def _lift_precision_tables(self) -> None:
+        """Validate the per-precision tables and auto-lift fp32 entries.
+
+        A pre-existing fp32-only spec (empty tables) lifts into tables
+        whose fp32 entries *are* the scalar fields, so per-precision and
+        scalar access paths can never disagree; an explicit fp32 entry
+        that contradicts its scalar twin is rejected for the same reason.
+        """
+        _check_precision(self.name, self.accumulate_dtype)
+        scalar_twins = {
+            "peak_flops_by_precision": ("peak_flops", self.peak_flops),
+            "elementwise_ops_by_precision":
+                ("elementwise_ops", self.elementwise_ops),
+            "fc_efficiency_by_precision":
+                ("fc_efficiency", self.fc_efficiency),
+        }
+        for fld, (scalar_name, scalar) in scalar_twins.items():
+            table = dict(getattr(self, fld))
+            for precision, value in table.items():
+                _check_precision(self.name, precision)
+                if value <= 0:
+                    raise HardwareSpecError(
+                        f"{self.name}: {fld}[{precision!r}] must be "
+                        f"positive, got {value}"
+                    )
+            if table.setdefault("fp32", scalar) != scalar:
+                raise HardwareSpecError(
+                    f"{self.name}: {fld}['fp32'] contradicts {scalar_name} "
+                    f"({table['fp32']} != {scalar})"
+                )
+            object.__setattr__(self, fld, table)
+        for precision, value in self.fc_efficiency_by_precision.items():
+            if not (0.0 < value <= 1.0):
+                raise HardwareSpecError(
+                    f"{self.name}: fc_efficiency_by_precision[{precision!r}] "
+                    f"must be in (0, 1], got {value}"
+                )
+        conv = dict(self.conv_efficiency_by_precision)
+        for precision, table in conv.items():
+            _check_precision(self.name, precision)
+            if not table:
+                raise HardwareSpecError(
+                    f"{self.name}: conv_efficiency_by_precision"
+                    f"[{precision!r}] must not be empty"
+                )
+            for kernel, eff in table.items():
+                if not (0.0 < eff <= 1.0):
+                    raise HardwareSpecError(
+                        f"{self.name}: conv_efficiency_by_precision"
+                        f"[{precision!r}][{kernel}] must be in (0, 1], "
+                        f"got {eff}"
+                    )
+        if conv.setdefault("fp32", self.conv_efficiency_by_kernel) \
+                != self.conv_efficiency_by_kernel:
+            raise HardwareSpecError(
+                f"{self.name}: conv_efficiency_by_precision['fp32'] "
+                f"contradicts conv_efficiency_by_kernel"
+            )
+        object.__setattr__(self, "conv_efficiency_by_precision", conv)
 
     # -- derived throughputs ------------------------------------------------------
-    def conv_efficiency(self, kernel: int) -> float:
+    def peak_flops_for(self, precision: str = "fp32") -> float:
+        """Peak FMA FLOP/s at *precision* (fp32 peak when no entry)."""
+        _check_precision(self.name, precision)
+        return self.peak_flops_by_precision.get(precision, self.peak_flops)
+
+    def elementwise_ops_for(self, precision: str = "fp32") -> float:
+        """Peak elementwise op/s at *precision* (fp32 peak when no entry)."""
+        _check_precision(self.name, precision)
+        return self.elementwise_ops_by_precision.get(
+            precision, self.elementwise_ops
+        )
+
+    def fc_efficiency_for(self, precision: str = "fp32") -> float:
+        """Achieved fraction of peak for FC GEMMs at *precision*."""
+        _check_precision(self.name, precision)
+        return self.fc_efficiency_by_precision.get(
+            precision, self.fc_efficiency
+        )
+
+    def conv_efficiency(self, kernel: int, precision: str = "fp32") -> float:
         """Achieved fraction of peak for a square *kernel* convolution."""
-        table = self.conv_efficiency_by_kernel
+        _check_precision(self.name, precision)
+        table = self.conv_efficiency_by_precision.get(
+            precision, self.conv_efficiency_by_kernel
+        )
         if kernel in table:
             return table[kernel]
         # Fall back to the nearest known kernel size.
         nearest = min(table, key=lambda k: abs(k - kernel))
         return table[nearest]
 
+    @property
+    def accumulate_bytes(self) -> int:
+        """Element width of GEMM partial-sum accumulation."""
+        return PRECISION_BYTES[self.accumulate_dtype]
+
+    def accumulate_write_scale(self, element_bytes: int) -> float:
+        """Traffic multiplier for GEMM output writes at *element_bytes*.
+
+        Output tiles spill at the accumulate width before the final
+        downconvert, so an fp16 conv with fp32 accumulation writes fp32
+        bytes. Never below 1: accumulating narrower than storage (fp64
+        data, fp32 accumulate) still streams the stored elements.
+        """
+        return max(1.0, self.accumulate_bytes / element_bytes)
+
     def effective_bandwidth(self) -> float:
         return self.dram_bandwidth * self.stream_efficiency
 
-    def effective_elementwise(self) -> float:
-        return self.elementwise_ops * self.elementwise_efficiency
+    def effective_elementwise(self, precision: str = "fp32") -> float:
+        return self.elementwise_ops_for(precision) * self.elementwise_efficiency
 
     @property
     def flop_per_byte(self) -> float:
@@ -146,11 +291,27 @@ class HardwareSpec:
         )
 
     def with_conv_efficiency_scale(self, scale: float, suffix: str) -> "HardwareSpec":
-        """Copy with all conv/FC efficiencies scaled (e.g. CUTLASS vs cuDNN)."""
+        """Copy with all conv/FC efficiencies scaled (e.g. CUTLASS vs cuDNN).
+
+        Per-precision overrides scale too — a slower kernel library is
+        slower at every precision it implements.
+        """
         table = {k: min(1.0, v * scale) for k, v in self.conv_efficiency_by_kernel.items()}
+        conv_by_precision = {
+            p: {k: min(1.0, v * scale) for k, v in t.items()}
+            for p, t in self.conv_efficiency_by_precision.items()
+            if p != "fp32"  # re-lifted from the scaled fp32 table
+        }
+        fc_by_precision = {
+            p: min(1.0, v * scale)
+            for p, v in self.fc_efficiency_by_precision.items()
+            if p != "fp32"
+        }
         return dataclasses.replace(
             self,
             name=f"{self.name}{suffix}",
             conv_efficiency_by_kernel=table,
             fc_efficiency=min(1.0, self.fc_efficiency * scale),
+            conv_efficiency_by_precision=conv_by_precision,
+            fc_efficiency_by_precision=fc_by_precision,
         )

@@ -14,6 +14,7 @@ from __future__ import annotations
 
 from typing import Tuple
 
+from repro.config import dtype_bytes
 from repro.errors import SimulationError
 from repro.graph.graph import LayerGraph
 from repro.graph.node import Node, OpKind
@@ -38,6 +39,28 @@ def node_flops(node: Node, graph: LayerGraph) -> Tuple[float, float]:
         fwd = 2.0 * node.attrs["in_features"] * y.num_elements
         return fwd, 2.0 * fwd
     return 0.0, 0.0
+
+
+def gemm_conversion_ops(node: Node, graph: LayerGraph,
+                        accumulate_bytes: int) -> Tuple[float, float]:
+    """(forward, backward) downconvert ops for a GEMM accumulating wide.
+
+    A reduced-precision GEMM whose partial sums accumulate at a wider
+    dtype (fp16 storage, fp32 accumulation) pays one elementwise convert
+    per produced element: the forward output in forward, the input
+    gradient in backward (the weight gradient is per-channel-scale small
+    and ignored, like every other per-channel cost). Zero whenever the
+    accumulate width does not exceed the storage width — in particular,
+    exactly zero for pure fp32, keeping pre-precision-axis numbers
+    bit-identical.
+    """
+    if node.kind not in (OpKind.CONV, OpKind.FC):
+        return 0.0, 0.0
+    y = graph.tensor(node.outputs[0])
+    if accumulate_bytes <= dtype_bytes(y.dtype):
+        return 0.0, 0.0
+    x = graph.tensor(node.inputs[0])
+    return float(y.num_elements), float(x.num_elements)
 
 
 #: (forward, backward) elementwise SIMD operations *per input element*.

@@ -21,8 +21,11 @@ passes. This module computes that set exactly from the graph:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Set
+from typing import Dict, Optional, Set
 
+import numpy as np
+
+from repro.config import dtype_bytes
 from repro.graph.graph import LayerGraph
 from repro.graph.node import OpKind
 from repro.tensors.tensor_spec import TensorKind
@@ -60,6 +63,9 @@ class FootprintReport:
     retained_tensors: int
     materialized_bytes: int  # every feature tensor written in forward
     materialized_tensors: int
+    #: fp32 master copies of the weights kept by mixed-precision training
+    #: (zero unless a wider ``master_dtype`` was requested).
+    master_weight_bytes: int = 0
 
     @property
     def retained_gb(self) -> float:
@@ -68,6 +74,11 @@ class FootprintReport:
     @property
     def materialized_gb(self) -> float:
         return self.materialized_bytes / 1e9
+
+    @property
+    def total_retained_bytes(self) -> int:
+        """Retained activations plus any master-weight copies."""
+        return self.retained_bytes + self.master_weight_bytes
 
 
 def _forward_written_features(graph: LayerGraph, aliases: Dict[str, str]) -> Set[str]:
@@ -95,11 +106,18 @@ def _backward_read_features(graph: LayerGraph, aliases: Dict[str, str]) -> Set[s
     return out
 
 
-def training_footprint(graph: LayerGraph) -> FootprintReport:
+def training_footprint(graph: LayerGraph,
+                       master_dtype: Optional[np.dtype] = None) -> FootprintReport:
     """Retained and materialized activation footprint of *graph*.
 
     DATA-node outputs (the input batch) are included — they are retained
     for the first convolution's backward-weights pass in every schedule.
+
+    ``master_dtype`` models mixed-precision training's master weights: a
+    reduced-precision graph keeps a wide (fp32) copy of every weight for
+    the optimizer update, reported as ``master_weight_bytes``. Weights
+    already at least as wide contribute nothing, so the default fp32
+    report is unchanged.
     """
     aliases = _alias_map(graph)
     written = _forward_written_features(graph, aliases)
@@ -110,12 +128,23 @@ def training_footprint(graph: LayerGraph) -> FootprintReport:
     def total(names) -> int:
         return sum(graph.tensor(t).size_bytes for t in names)
 
+    master_bytes = 0
+    if master_dtype is not None:
+        width = dtype_bytes(master_dtype)
+        master_bytes = sum(
+            t.num_elements * width
+            for t in graph.tensors.values()
+            if (t.kind is TensorKind.WEIGHT and not t.name.endswith(".grad")
+                and dtype_bytes(t.dtype) < width)
+        )
+
     return FootprintReport(
         model=graph.name,
         retained_bytes=total(retained),
         retained_tensors=len(retained),
         materialized_bytes=total(written),
         materialized_tensors=len(written),
+        master_weight_bytes=master_bytes,
     )
 
 

@@ -10,6 +10,14 @@ For every node the simulator computes, per direction:
   cache model and streamed at effective bandwidth.
 * **node time** — ``max(compute, memory) + invocations x call overhead``.
 
+Precision is a first-class dimension: compute ceilings come from the
+machine's per-precision capability tables (``peak_flops_by_precision`` and
+friends), GEMMs accumulating wider than their storage dtype pay spill
+traffic and downconvert ops, and cache-residency decisions follow the
+tensors' actual byte sizes — so fp16 changes *both* roofs, not just a byte
+multiplier. ``precision`` defaults to the graph's own element dtype, which
+keeps every existing fp32 caller bit-identical.
+
 ``infinite_bw_kinds`` reproduces Figure 4's hypothetical machine: sweeps of
 the listed op kinds cost no DRAM time (the paper emulated this by remapping
 BN/ReLU addresses into L1-resident buffers while keeping the arithmetic).
@@ -17,16 +25,23 @@ BN/ReLU addresses into L1-resident buffers while keeping the arithmetic).
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet
+from typing import Dict, FrozenSet, Optional
 
 from repro.errors import SimulationError
 from repro.graph.graph import LayerGraph
 from repro.graph.node import Node, OpKind
 from repro.hw.cache import CacheModel
-from repro.hw.spec import HardwareSpec
-from repro.perf.flops import node_elementwise_ops, node_flops
+from repro.hw.spec import PRECISION_BYTES, HardwareSpec
+from repro.perf.flops import (
+    gemm_conversion_ops,
+    node_elementwise_ops,
+    node_flops,
+)
 from repro.perf.report import IterationCost, NodeCost, PassCost
 from repro.perf.traffic import node_dram_bytes
+
+#: Element width -> precision name (graph-dtype inference).
+_PRECISION_BY_BYTES = {v: k for k, v in PRECISION_BYTES.items()}
 
 
 def simulate(
@@ -35,10 +50,18 @@ def simulate(
     scenario: str = "baseline",
     infinite_bw_kinds: FrozenSet[OpKind] = frozenset(),
     include_overhead: bool = True,
+    precision: Optional[str] = None,
 ) -> IterationCost:
-    """Price one training iteration of *graph* on *hw*."""
+    """Price one training iteration of *graph* on *hw*.
+
+    ``precision`` selects the machine's capability table; ``None`` infers
+    it from the graph's feature dtype (the graphs the sweep cache builds
+    are re-typed to the cell's precision, so the two always agree).
+    """
     cache = CacheModel(hw)
     batch = _infer_batch(graph)
+    if precision is None:
+        precision = _infer_precision(graph)
 
     # Charge ghosted nodes' elementwise work to their fusion hosts.
     extra_eops: Dict[str, list] = {}
@@ -57,7 +80,7 @@ def simulate(
     for node in graph.nodes:
         cost.nodes.append(
             _price_node(node, graph, hw, cache, extra_eops.get(node.name, (0.0, 0.0)),
-                        infinite_bw_kinds, include_overhead)
+                        infinite_bw_kinds, include_overhead, precision)
         )
     return cost
 
@@ -69,6 +92,21 @@ def _infer_batch(graph: LayerGraph) -> int:
     raise SimulationError(f"{graph.name}: no DATA node; cannot infer batch size")
 
 
+def _infer_precision(graph: LayerGraph) -> str:
+    """The graph's training precision, from its input-batch element size."""
+    for node in graph.nodes:
+        if node.kind == OpKind.DATA:
+            itemsize = graph.tensor(node.outputs[0]).dtype.itemsize
+            try:
+                return _PRECISION_BY_BYTES[itemsize]
+            except KeyError:
+                raise SimulationError(
+                    f"{graph.name}: no precision table for "
+                    f"{itemsize}-byte elements"
+                ) from None
+    return "fp32"  # no DATA node: _infer_batch will have raised already
+
+
 def _price_node(
     node: Node,
     graph: LayerGraph,
@@ -77,6 +115,7 @@ def _price_node(
     extra_eops,
     infinite_bw_kinds: FrozenSet[OpKind],
     include_overhead: bool,
+    precision: str,
 ) -> NodeCost:
     is_ghost = bool(node.attrs.get("fused_into"))
 
@@ -84,13 +123,17 @@ def _price_node(
     fwd_eops, bwd_eops = (0.0, 0.0) if is_ghost else node_elementwise_ops(node, graph)
     fwd_eops += extra_eops[0]
     bwd_eops += extra_eops[1]
+    # Downconvert of wide-accumulated GEMM outputs (zero at fp32).
+    conv_fwd, conv_bwd = gemm_conversion_ops(node, graph, hw.accumulate_bytes)
+    fwd_eops += conv_fwd
+    bwd_eops += conv_bwd
 
     fwd_bytes, bwd_bytes = node_dram_bytes(node, graph, cache)
     if node.kind in infinite_bw_kinds:
         fwd_bytes = bwd_bytes = 0
 
-    eff_fwd, eff_bwd = _gemm_efficiencies(node, hw)
-    elem_rate = hw.effective_elementwise()
+    eff_fwd, eff_bwd = _gemm_efficiencies(node, hw, precision)
+    elem_rate = hw.effective_elementwise(precision)
     bw = hw.effective_bandwidth()
     overhead = hw.call_overhead_s if include_overhead else 0.0
 
@@ -116,13 +159,13 @@ def _price_node(
     )
 
 
-def _gemm_efficiencies(node: Node, hw: HardwareSpec):
+def _gemm_efficiencies(node: Node, hw: HardwareSpec, precision: str):
     """(forward, backward) achieved FLOP/s for GEMM-shaped nodes."""
     if node.kind == OpKind.CONV:
-        eff = hw.conv_efficiency(node.attrs["kernel"])
+        eff = hw.conv_efficiency(node.attrs["kernel"], precision)
     elif node.kind == OpKind.FC:
-        eff = hw.fc_efficiency
+        eff = hw.fc_efficiency_for(precision)
     else:
         return hw.peak_flops, hw.peak_flops  # unused (flops == 0)
-    fwd = hw.peak_flops * eff
+    fwd = hw.peak_flops_for(precision) * eff
     return fwd, fwd * hw.bwd_efficiency_scale

@@ -4,40 +4,54 @@ from __future__ import annotations
 
 from typing import Iterable, Tuple
 
+from repro.config import dtype_bytes
 from repro.graph.graph import LayerGraph
 from repro.graph.node import Node
 from repro.graph.sweeps import Direction, Sweep
 from repro.hw.cache import CacheModel
 
 
-def sweep_dram_bytes(sweep: Sweep, graph: LayerGraph, cache: CacheModel) -> int:
+def sweep_dram_bytes(sweep: Sweep, graph: LayerGraph, cache: CacheModel,
+                     gemm_accumulate: bool = False) -> int:
     """DRAM bytes for one sweep (0 when the tensor is cache-resident).
 
     Gradient sweeps cost the same as data sweeps — the gradient tensor has
     the producing tensor's shape and dtype. Write sweeps are scaled by the
     machine's write-allocate factor (read-for-ownership traffic of ordinary
-    cached stores).
+    cached stores); with ``gemm_accumulate`` they are additionally priced
+    at the machine's accumulate width when that exceeds the element width
+    (fp16 GEMM tiles spill fp32 partial sums before the downconvert). The
+    scale is exactly 1.0 whenever storage is at least as wide as the
+    accumulator, so fp32 pricing is bit-identical to the pre-precision
+    model.
     """
     base = cache.dram_bytes(graph.tensor(sweep.tensor))
     if sweep.direction is Direction.WRITE:
-        return int(base * cache.hw.write_allocate_factor)
+        factor = cache.hw.write_allocate_factor
+        if gemm_accumulate:
+            factor *= cache.hw.accumulate_write_scale(
+                dtype_bytes(graph.tensor(sweep.tensor).dtype)
+            )
+        return int(base * factor)
     return base
 
 
 def _total(sweeps: Iterable[Sweep], graph: LayerGraph, cache: CacheModel,
-           factor: float) -> int:
-    return int(sum(sweep_dram_bytes(s, graph, cache) for s in sweeps) * factor)
+           factor: float, gemm_accumulate: bool = False) -> int:
+    return int(sum(sweep_dram_bytes(s, graph, cache, gemm_accumulate)
+                   for s in sweeps) * factor)
 
 
 def node_dram_bytes(node: Node, graph: LayerGraph, cache: CacheModel) -> Tuple[int, int]:
     """(forward, backward) DRAM bytes of a node's current ledger.
 
     CONV/FC nodes carry the machine's blocked-convolution traffic factor
-    (input re-reads across output-channel tiles); elementwise layers stream
-    each tensor once.
+    (input re-reads across output-channel tiles) and price their write
+    sweeps at the accumulate width; elementwise layers stream each tensor
+    once at its storage width.
     """
     factor = cache.hw.conv_traffic_factor if node.is_conv_like else 1.0
     return (
-        _total(node.fwd_sweeps, graph, cache, factor),
-        _total(node.bwd_sweeps, graph, cache, factor),
+        _total(node.fwd_sweeps, graph, cache, factor, node.is_conv_like),
+        _total(node.bwd_sweeps, graph, cache, factor, node.is_conv_like),
     )

@@ -25,6 +25,7 @@ from repro.sweep.schedule import (
     SchedulePlan,
     WorkerBundle,
     default_cost_estimate,
+    observed_cost_estimate,
     plan_schedule,
 )
 from repro.sweep.spec import (
@@ -62,6 +63,7 @@ __all__ = [
     "default_cost_estimate",
     "enumerate_cells",
     "graph_key",
+    "observed_cost_estimate",
     "plan_schedule",
     "price_cell",
     "retype_graph",

@@ -46,9 +46,11 @@ from repro.tensors.tensor_spec import TensorSpec
 def retype_graph(graph: LayerGraph, precision: str) -> LayerGraph:
     """Clone *graph* with every tensor re-typed to *precision*.
 
-    The precision axis models element size only (the paper's Section 3.2
-    argues fp32 suffices numerically); sweep ledgers reference tensors by
-    name, so swapping the specs is enough for the traffic model.
+    Sweep ledgers reference tensors by name, so swapping the specs is all
+    the *graph* needs: the traffic model reads the new byte sizes (and
+    residency) directly, and the simulator picks the machine's matching
+    capability table from the same dtype (``simulate`` infers precision
+    from the re-typed tensors when not passed explicitly).
     """
     dtype = PRECISION_DTYPES[precision]
     g = graph.clone()
@@ -116,6 +118,7 @@ class GraphCache:
     _graphs: Dict[str, LayerGraph] = field(default_factory=dict)
     _scenario_graphs: Dict[str, LayerGraph] = field(default_factory=dict)
     _costs: Dict[str, IterationCost] = field(default_factory=dict)
+    _node_counts: Dict[str, int] = field(default_factory=dict)
     stats: CacheStats = field(default_factory=CacheStats)
 
     # -- stage 1: built model graphs -----------------------------------------
@@ -155,7 +158,28 @@ class GraphCache:
             if self.persist:
                 self.persist.store_graph(key, graph)
         self._scenario_graphs[key] = graph
+        self._record_node_count(key, len(graph.nodes))
         return graph
+
+    # -- observed node counts (scheduler feedback) -----------------------------
+    def _record_node_count(self, scenario_key: str, count: int) -> None:
+        """Persist the graph's node count for future scheduling estimates."""
+        if scenario_key in self._node_counts:
+            return
+        self._node_counts[scenario_key] = count
+        if self.persist:
+            self.persist.store_node_count(scenario_key, count)
+
+    def node_count(self, scenario_key: str,
+                   probe_disk: bool = True) -> int | None:
+        """Observed node count for a scenario graph, or ``None`` if never
+        built under this cache (memory first, then the disk tier)."""
+        count = self._node_counts.get(scenario_key)
+        if count is None and probe_disk and self.persist is not None:
+            count = self.persist.load_node_count(scenario_key)
+            if count is not None:
+                self._node_counts[scenario_key] = count
+        return count
 
     # -- stage 3: priced cells -------------------------------------------------
     def cost(self, key: str, compute: Callable[[], IterationCost],
@@ -202,4 +226,5 @@ class GraphCache:
         self._graphs.clear()
         self._scenario_graphs.clear()
         self._costs.clear()
+        self._node_counts.clear()
         self.stats = CacheStats()

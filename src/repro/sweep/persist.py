@@ -21,6 +21,14 @@ Design constraints, in order:
    directory and are published with :func:`os.replace`, so readers (and
    competing writers of the same content-keyed entry) never observe a
    partial file.
+4. **Bounded.** Content-keyed files accumulate across grids forever
+   unless told otherwise: with ``max_bytes`` / ``max_entries`` set,
+   :meth:`PersistentCache.gc` evicts least-recently-*used* entries (every
+   load touches its file's mtime) until the caps hold, and quarantined
+   ``*.rejected`` files (plus orphaned ``*.tmp``) older than the
+   retention window are deleted rather than kept forever. GC runs
+   opportunistically every few stores and on session close; with no caps
+   configured only the quarantine sweep runs.
 """
 
 from __future__ import annotations
@@ -29,30 +37,41 @@ import hashlib
 import os
 import pickle
 import tempfile
+import time
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.graph.graph import LayerGraph
 from repro.perf.report import IterationCost
 
 #: Bumped on any incompatible change to the entry layout or to the
 #: pickled payload types; old files then read as misses, not errors.
-CACHE_FORMAT_VERSION = 1
+#: v2: per-precision roofline costs — fp16/fp64 cells priced by a v1
+#: build used fp32 capability tables, so every v1 entry must degrade to a
+#: cold compute rather than serve a silently-wrong number.
+CACHE_FORMAT_VERSION = 2
 
-#: Entry kind -> subdirectory. Costs and graphs live apart so a cache
-#: directory can be inspected (and selectively cleared) with plain ls/rm.
-_KIND_DIRS = {"cost": "costs", "graph": "graphs"}
+#: Entry kind -> subdirectory. Costs, graphs and node-count metadata live
+#: apart so a cache directory can be inspected (and selectively cleared)
+#: with plain ls/rm.
+_KIND_DIRS = {"cost": "costs", "graph": "graphs", "nodes": "nodes"}
+
+#: Stores between opportunistic :meth:`PersistentCache.gc` passes.
+_GC_STORE_INTERVAL = 64
 
 
 @dataclass
 class PersistStats:
     """Disk-tier traffic counters (loads that hit, loads that missed,
-    writes, and files rejected as corrupt/incompatible)."""
+    writes, files rejected as corrupt/incompatible, entries evicted by
+    the size/count caps, and quarantine/temp files purged by age)."""
 
     loads: int = 0
     load_misses: int = 0
     stores: int = 0
     rejected: int = 0
+    evicted: int = 0
+    purged: int = 0
 
     def as_dict(self) -> Dict[str, int]:
         return dict(self.__dict__)
@@ -66,13 +85,27 @@ class PersistentCache:
     pickled envelope ``{format, kind, key, sha256, payload}`` where
     ``payload`` is the pickled object and ``sha256`` its checksum. Loads
     validate the whole envelope and return ``None`` on any mismatch.
+
+    ``max_bytes`` / ``max_entries`` cap the store (``None`` = unbounded);
+    :meth:`gc` enforces them LRU-by-mtime, where "recently used" means
+    recently *loaded* — hits touch their file — so hot entries survive.
     """
 
     root: str
+    max_bytes: Optional[int] = None
+    max_entries: Optional[int] = None
+    rejected_retention_s: float = 24 * 3600.0
     stats: PersistStats = field(default_factory=PersistStats)
+    _stores_since_gc: int = field(default=0, init=False, repr=False)
 
     def __post_init__(self) -> None:
         self.root = os.path.abspath(os.path.expanduser(str(self.root)))
+        if self.max_bytes is not None and self.max_bytes <= 0:
+            raise ValueError(f"max_bytes must be positive, got {self.max_bytes}")
+        if self.max_entries is not None and self.max_entries <= 0:
+            raise ValueError(
+                f"max_entries must be positive, got {self.max_entries}"
+            )
 
     # -- paths ---------------------------------------------------------------
     def path_for(self, kind: str, key: str) -> str:
@@ -97,10 +130,17 @@ class PersistentCache:
             self._reject(path)
             return None
         try:
-            return pickle.loads(envelope["payload"])
+            obj = pickle.loads(envelope["payload"])
         except Exception:
             self._reject(path)
             return None
+        # A hit marks the entry recently-used, so LRU eviction keeps the
+        # entries warm runs actually read.
+        try:
+            os.utime(path)
+        except OSError:
+            pass
+        return obj
 
     def store(self, kind: str, key: str, obj) -> None:
         """Atomically publish *obj* under (kind, key); last writer wins.
@@ -133,6 +173,73 @@ class PersistentCache:
                 pass
             raise
         self.stats.stores += 1
+        self._stores_since_gc += 1
+        if (self._capped and self._stores_since_gc >= _GC_STORE_INTERVAL):
+            self.gc()
+
+    # -- garbage collection --------------------------------------------------
+    @property
+    def _capped(self) -> bool:
+        return self.max_bytes is not None or self.max_entries is not None
+
+    def gc(self, now: Optional[float] = None) -> int:
+        """Enforce the size/entry caps and age out quarantined files.
+
+        Evicts ``*.pkl`` entries least-recently-used first (by mtime —
+        loads touch their file) until both configured caps hold, and
+        unconditionally deletes ``*.rejected`` quarantine files and
+        orphaned ``*.tmp`` writes older than ``rejected_retention_s``.
+        Returns the number of files removed. Concurrent removal of a file
+        by another process is treated as that file already being gone.
+        """
+        now = time.time() if now is None else now
+        removed = 0
+        entries: List[Tuple[float, int, str]] = []  # (mtime, size, path)
+        total_bytes = 0
+        for sub in _KIND_DIRS.values():
+            directory = os.path.join(self.root, sub)
+            try:
+                names = os.listdir(directory)
+            except OSError:
+                continue
+            for name in names:
+                path = os.path.join(directory, name)
+                try:
+                    st = os.stat(path)
+                except OSError:
+                    continue
+                if name.endswith(".pkl"):
+                    entries.append((st.st_mtime, st.st_size, path))
+                    total_bytes += st.st_size
+                elif now - st.st_mtime > self.rejected_retention_s:
+                    if self._unlink(path):
+                        self.stats.purged += 1
+                        removed += 1
+        if self._capped:
+            entries.sort()  # oldest mtime first = least recently used
+            count = len(entries)
+            for mtime, size, path in entries:
+                over_entries = (self.max_entries is not None
+                                and count > self.max_entries)
+                over_bytes = (self.max_bytes is not None
+                              and total_bytes > self.max_bytes)
+                if not (over_entries or over_bytes):
+                    break
+                if self._unlink(path):
+                    self.stats.evicted += 1
+                    removed += 1
+                count -= 1
+                total_bytes -= size
+        self._stores_since_gc = 0
+        return removed
+
+    @staticmethod
+    def _unlink(path: str) -> bool:
+        try:
+            os.unlink(path)
+            return True
+        except OSError:
+            return False
 
     # -- typed helpers -------------------------------------------------------
     def load_cost(self, key: str) -> Optional[IterationCost]:
@@ -146,6 +253,14 @@ class PersistentCache:
 
     def store_graph(self, key: str, graph: LayerGraph) -> None:
         self.store("graph", key, graph)
+
+    def load_node_count(self, key: str) -> Optional[int]:
+        """Observed node count of the scenario graph under *key*."""
+        count = self.load("nodes", key)
+        return count if isinstance(count, int) else None
+
+    def store_node_count(self, key: str, count: int) -> None:
+        self.store("nodes", key, int(count))
 
     # -- internals -----------------------------------------------------------
     def _envelope_ok(self, envelope, kind: str, key: str) -> bool:

@@ -45,7 +45,11 @@ from repro.perf.report import IterationCost
 from repro.perf.simulator import simulate
 from repro.sweep.cache import CacheStats, GraphCache
 from repro.sweep.persist import PersistentCache
-from repro.sweep.schedule import CostEstimate, plan_schedule
+from repro.sweep.schedule import (
+    CostEstimate,
+    observed_cost_estimate,
+    plan_schedule,
+)
 from repro.sweep.spec import SweepCell, SweepSpec
 from repro.sweep.store import SweepResult
 
@@ -55,8 +59,14 @@ INFINITE_BW_KINDS = FIG4_KINDS
 
 
 def cell_hardware(cell: SweepCell) -> HardwareSpec:
-    """Resolve a cell's hardware axes to a concrete :class:`HardwareSpec`."""
+    """Resolve a cell's hardware axes to a concrete :class:`HardwareSpec`.
+
+    Fails loudly (``HardwareSpecError``) if the preset has no capability
+    table for the cell's precision — every preset answers for fp16/fp32/
+    fp64 via the fp32 fallback, so this only rejects unknown strings.
+    """
     hw = get_preset(cell.hardware)
+    hw.peak_flops_for(cell.precision)
     if cell.bandwidth_scale != 1.0:
         hw = hw.with_bandwidth(hw.dram_bandwidth * cell.bandwidth_scale)
     return hw
@@ -73,7 +83,7 @@ def price_cell(cell: SweepCell, cache: Optional[GraphCache] = None,
         )
         kinds = INFINITE_BW_KINDS if cell.infinite_bw else frozenset()
         return simulate(graph, cell_hardware(cell), scenario=cell.scenario,
-                        infinite_bw_kinds=kinds)
+                        infinite_bw_kinds=kinds, precision=cell.precision)
 
     return cache.cost(cell.key(), compute, probe_disk=probe_disk)
 
@@ -138,6 +148,14 @@ class SweepSession:
         files there, so re-runs after a restart price nothing.
     estimate:
         Optional per-cell cost estimate for the scheduler's bin packing.
+        When omitted, the session feeds observed node counts (persisted
+        alongside costs) back into the scheduler and falls back to the
+        static guess only for graphs it has never seen.
+    max_cache_bytes / max_cache_entries:
+        Caps on the persistent tier (``None`` = unbounded). Enforced
+        LRU-by-use via :meth:`PersistentCache.gc`, which also runs on
+        :meth:`close` — so a bounded cache stays bounded across sessions.
+        Ignored when an adopted ``cache`` brings its own persistent tier.
     """
 
     def __init__(
@@ -146,8 +164,12 @@ class SweepSession:
         cache: Optional[GraphCache] = None,
         cache_dir: Optional[str] = None,
         estimate: Optional[CostEstimate] = None,
+        max_cache_bytes: Optional[int] = None,
+        max_cache_entries: Optional[int] = None,
     ):
-        persist = PersistentCache(cache_dir) if cache_dir else None
+        persist = PersistentCache(
+            cache_dir, max_bytes=max_cache_bytes, max_entries=max_cache_entries
+        ) if cache_dir else None
         if cache is None:
             cache = GraphCache(persist=persist)
         elif persist is not None and cache.persist is None:
@@ -169,12 +191,16 @@ class SweepSession:
         return self.cache.persist.root if self.cache.persist else None
 
     def close(self) -> None:
-        """Shut the worker pool down (caches are kept)."""
+        """Shut the worker pool down (caches are kept, disk tier GC'd)."""
         if self._pool is not None:
             self._pool.terminate()
             self._pool.join()
             self._pool = None
             self._pool_size = 0
+        if self.cache.persist is not None:
+            # Enforce the configured caps and age out quarantine files;
+            # a no-op beyond the quarantine sweep when uncapped.
+            self.cache.persist.gc()
 
     def __enter__(self) -> "SweepSession":
         return self
@@ -241,7 +267,8 @@ class SweepSession:
         # Tier 3: genuinely cold cells — schedule and price.
         workers = self.workers if workers is None else workers
         if workers and workers > 1 and len(to_price) > 1:
-            plan = plan_schedule(to_price, workers, self.estimate)
+            plan = plan_schedule(to_price, workers,
+                                 self._estimate_for(to_price))
             pool = self._pool_for(workers, len(plan.bundles))
             for priced, delta in pool.map(
                 _price_bundle_in_worker,
@@ -259,6 +286,21 @@ class SweepSession:
         return SweepResult.from_cells(
             cells, {c.key(): cache.cached_cost(c.key()) for c in unique}
         )
+
+    def _estimate_for(self, cells: Sequence[SweepCell]) -> Optional[CostEstimate]:
+        """Scheduler weights for *cells*: the explicit estimate if one was
+        configured, else observed node counts fed back from earlier runs
+        (memory or disk), else ``None`` (the static default)."""
+        if self.estimate is not None:
+            return self.estimate
+        counts = {}
+        for cell in cells:
+            skey = cell.scenario_key()
+            if skey not in counts:
+                count = self.cache.node_count(skey)
+                if count is not None:
+                    counts[skey] = count
+        return observed_cost_estimate(counts) if counts else None
 
 
 # -- the active-session hook (installed by the experiments CLI) -----------------

@@ -16,17 +16,19 @@ worker process. ``Pool.map`` over a flat cell list makes that *likely*
   model's work starts immediately instead of serializing at the tail,
   and computes a deterministic least-loaded worker assignment.
 
-Weights come from a cost estimate, not a measurement: pricing walks the
-graph's ledger once per hardware variant and the pass pipeline runs once
-per group, so ``batch x (1 + pipeline length)`` is a cheap monotone
-proxy. A custom ``estimate`` callable can replace it (e.g. with observed
-node counts) without touching the packing logic.
+Weights come from a cost estimate, not a measurement — unless the cache
+has seen the graph before: the session persists each scenario graph's
+node count alongside its costs and feeds them back through
+:func:`observed_cost_estimate`, so warm-adjacent runs (new hardware axis
+over known graphs) pack by what pricing *actually* walks instead of the
+static batch-size guess. A custom ``estimate`` callable still overrides
+everything without touching the packing logic.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.passes.scenarios import SCENARIOS
 from repro.sweep.spec import SweepCell
@@ -44,6 +46,30 @@ def default_cost_estimate(cell: SweepCell) -> float:
     length accounts for the one-time restructuring each group runs.
     """
     return float(cell.batch) * (1 + len(SCENARIOS[cell.scenario]))
+
+
+def observed_cost_estimate(
+    node_counts: Mapping[str, int],
+    fallback: CostEstimate = default_cost_estimate,
+) -> CostEstimate:
+    """Estimate from observed per-graph node counts (scheduler feedback).
+
+    ``node_counts`` maps ``scenario_key`` -> node count of the built
+    scenario graph (what :class:`~repro.sweep.cache.GraphCache` records
+    and persists). Pricing walks the ledger once per cell, so the node
+    count is the honest per-cell work proxy; cells whose graphs have
+    never been built fall back to the static guess. Mixed grids therefore
+    degrade gracefully: LPT only needs relative ordering, and both
+    proxies grow with model size.
+    """
+
+    def estimate(cell: SweepCell) -> float:
+        count = node_counts.get(cell.scenario_key())
+        if count is None:
+            return fallback(cell)
+        return float(count)
+
+    return estimate
 
 
 @dataclass(frozen=True)

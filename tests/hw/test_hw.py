@@ -12,9 +12,11 @@ from repro.hw import (
     KNIGHTS_LANDING,
     PASCAL_TITAN_X,
     PASCAL_TITAN_X_CUTLASS,
+    PRECISIONS,
     SKYLAKE_2S,
     SKYLAKE_2S_HALF_BW,
     TABLE1_ARCHITECTURES,
+    VOLTA_V100,
     get_preset,
 )
 from repro.hw.spec import HardwareSpec
@@ -66,6 +68,114 @@ class TestSpecValidation:
             assert hw.conv_efficiency(k) == pytest.approx(
                 self.base().conv_efficiency(k) * 0.5
             )
+
+
+class TestPrecisionTables:
+    def base(self, **over):
+        kw = dict(name="t", peak_flops=1e12, elementwise_ops=5e11,
+                  dram_bandwidth=1e11, llc_bytes=1 << 20)
+        kw.update(over)
+        return HardwareSpec(**kw)
+
+    def test_fp32_only_spec_auto_lifts(self):
+        """A pre-precision-axis spec answers for every precision: the fp32
+        entries ARE the scalar fields, other precisions fall back."""
+        hw = self.base()
+        assert hw.peak_flops_by_precision["fp32"] == hw.peak_flops
+        assert hw.elementwise_ops_by_precision["fp32"] == hw.elementwise_ops
+        assert hw.conv_efficiency_by_precision["fp32"] \
+            == hw.conv_efficiency_by_kernel
+        for p in PRECISIONS:
+            assert hw.peak_flops_for(p) == hw.peak_flops
+            assert hw.elementwise_ops_for(p) == hw.elementwise_ops
+            assert hw.fc_efficiency_for(p) == hw.fc_efficiency
+            assert hw.conv_efficiency(3, p) == hw.conv_efficiency(3)
+
+    def test_explicit_entries_override_fallback(self):
+        hw = self.base(peak_flops_by_precision={"fp16": 4e12},
+                       fc_efficiency_by_precision={"fp16": 0.2})
+        assert hw.peak_flops_for("fp16") == 4e12
+        assert hw.peak_flops_for("fp32") == hw.peak_flops
+        assert hw.fc_efficiency_for("fp16") == 0.2
+
+    def test_unknown_precision_rejected(self):
+        with pytest.raises(HardwareSpecError):
+            self.base(peak_flops_by_precision={"bf16": 1e12})
+        with pytest.raises(HardwareSpecError):
+            self.base().peak_flops_for("int8")
+        with pytest.raises(HardwareSpecError):
+            self.base().conv_efficiency(3, "int8")
+
+    def test_contradicting_fp32_entry_rejected(self):
+        """One source of truth: an explicit fp32 table entry must agree
+        with its scalar twin."""
+        with pytest.raises(HardwareSpecError):
+            self.base(peak_flops_by_precision={"fp32": 9e12})
+        with pytest.raises(HardwareSpecError):
+            self.base(fc_efficiency_by_precision={"fp32": 0.99})
+
+    def test_nonpositive_or_nonfraction_values_rejected(self):
+        with pytest.raises(HardwareSpecError):
+            self.base(peak_flops_by_precision={"fp16": 0.0})
+        with pytest.raises(HardwareSpecError):
+            self.base(fc_efficiency_by_precision={"fp16": 1.5})
+        with pytest.raises(HardwareSpecError):
+            self.base(conv_efficiency_by_precision={"fp16": {3: 2.0}})
+        with pytest.raises(HardwareSpecError):
+            self.base(conv_efficiency_by_precision={"fp16": {}})
+
+    def test_bad_accumulate_dtype_rejected(self):
+        with pytest.raises(HardwareSpecError):
+            self.base(accumulate_dtype="int8")
+
+    def test_accumulate_write_scale(self):
+        hw = self.base()  # accumulate_dtype = fp32
+        assert hw.accumulate_bytes == 4
+        assert hw.accumulate_write_scale(2) == 2.0   # fp16 storage
+        assert hw.accumulate_write_scale(4) == 1.0   # fp32 storage
+        assert hw.accumulate_write_scale(8) == 1.0   # never below 1
+
+    def test_effective_elementwise_default_is_fp32(self):
+        hw = self.base(elementwise_ops_by_precision={"fp16": 1e12})
+        assert hw.effective_elementwise() \
+            == hw.elementwise_ops * hw.elementwise_efficiency
+        assert hw.effective_elementwise("fp16") \
+            == 1e12 * hw.elementwise_efficiency
+
+    def test_conv_scale_variant_scales_precision_tables(self):
+        hw = self.base(
+            conv_efficiency_by_precision={"fp16": {3: 0.4}},
+            fc_efficiency_by_precision={"fp16": 0.4},
+        ).with_conv_efficiency_scale(0.5, "_slow")
+        assert hw.conv_efficiency(3, "fp16") == pytest.approx(0.2)
+        assert hw.fc_efficiency_for("fp16") == pytest.approx(0.2)
+        # The re-lifted fp32 entries track the scaled scalars.
+        assert hw.conv_efficiency_by_precision["fp32"] \
+            == hw.conv_efficiency_by_kernel
+
+    def test_volta_preset_has_real_fp16_pipes(self):
+        assert VOLTA_V100.peak_flops_for("fp16") \
+            > VOLTA_V100.peak_flops_for("fp32")
+        assert VOLTA_V100.accumulate_dtype == "fp32"
+        # Tensor-core *achieved* throughput still beats fp32 at every
+        # kernel size despite the lower efficiency fraction.
+        for k in VOLTA_V100.conv_efficiency_by_kernel:
+            fp16 = (VOLTA_V100.peak_flops_for("fp16")
+                    * VOLTA_V100.conv_efficiency(k, "fp16"))
+            fp32 = (VOLTA_V100.peak_flops_for("fp32")
+                    * VOLTA_V100.conv_efficiency(k))
+            assert fp16 > fp32
+
+    def test_table1_presets_fp16_is_storage_only(self):
+        """The paper-era machines have no fast fp16 pipes: fp16 falls back
+        to the fp32 compute roofs (only the traffic shrinks)."""
+        for hw in TABLE1_ARCHITECTURES:
+            assert hw.peak_flops_for("fp16") == hw.peak_flops
+            assert hw.elementwise_ops_for("fp16") == hw.elementwise_ops
+
+    def test_table1_presets_have_slower_fp64(self):
+        for hw in TABLE1_ARCHITECTURES:
+            assert hw.peak_flops_for("fp64") < hw.peak_flops
 
 
 class TestTable1Anchors:

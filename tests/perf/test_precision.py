@@ -1,0 +1,137 @@
+"""Precision as a first-class roofline dimension.
+
+Pins the tentpole guarantees: explicit fp32 pricing is bit-identical to
+the pre-precision-axis simulator (default arguments), fp16 cells price
+*differently* through both roofs (traffic on storage-only machines,
+compute too on tensor-core machines), and the fp32-accumulation honesty
+charges (spill traffic + downconvert ops) appear exactly when storage is
+narrower than the accumulator.
+"""
+
+import numpy as np
+import pytest
+
+from repro.graph.node import OpKind
+from repro.hw.presets import SKYLAKE_2S, VOLTA_V100
+from repro.models.registry import build_model
+from repro.perf.flops import gemm_conversion_ops
+from repro.perf.footprint import training_footprint
+from repro.perf.simulator import simulate
+from repro.sweep import SweepSpec, retype_graph, run_sweep
+
+BATCH = 120
+
+
+@pytest.fixture(scope="module")
+def fp32_graph():
+    return build_model("densenet121", batch=BATCH)
+
+
+@pytest.fixture(scope="module")
+def fp16_graph(fp32_graph):
+    return retype_graph(fp32_graph, "fp16")
+
+
+class TestFp32BitIdentity:
+    def test_explicit_precision_equals_default(self, fp32_graph):
+        assert simulate(fp32_graph, SKYLAKE_2S) \
+            == simulate(fp32_graph, SKYLAKE_2S, precision="fp32")
+
+    def test_inference_from_graph_dtype(self, fp16_graph):
+        """precision=None infers the graph's own element dtype."""
+        assert simulate(fp16_graph, VOLTA_V100) \
+            == simulate(fp16_graph, VOLTA_V100, precision="fp16")
+
+    def test_conversion_ops_zero_at_fp32(self, fp32_graph):
+        for node in fp32_graph.nodes:
+            assert gemm_conversion_ops(node, fp32_graph, 4) == (0.0, 0.0)
+
+
+class TestFp16ChangesTheAnswer:
+    """The acceptance bit: fp16 cells produce different, precision-aware
+    costs — not recycled fp32 numbers."""
+
+    def test_fp16_differs_and_is_faster_via_sweep(self):
+        spec = SweepSpec(
+            name="prec", models=("densenet121",),
+            hardware=("skylake_2s", "volta_v100"),
+            scenarios=("baseline",), batches=(BATCH,),
+            precisions=("fp32", "fp16"),
+        )
+        store = run_sweep(spec)
+        for hw in ("skylake_2s", "volta_v100"):
+            fp32 = store.cost(hardware=hw, precision="fp32")
+            fp16 = store.cost(hardware=hw, precision="fp16")
+            assert fp16.total_time_s < fp32.total_time_s
+            assert fp16.dram_bytes < fp32.dram_bytes
+
+    def test_storage_only_machine_keeps_compute_times(
+            self, fp32_graph, fp16_graph):
+        """Skylake has no fp16 pipes: elementwise compute seconds are
+        unchanged, the whole win is traffic (plus residency)."""
+        fp32 = simulate(fp32_graph, SKYLAKE_2S)
+        fp16 = simulate(fp16_graph, SKYLAKE_2S)
+        for n32, n16 in zip(fp32.nodes, fp16.nodes):
+            if n32.kind is OpKind.BN:
+                assert n16.fwd.compute_s == n32.fwd.compute_s
+                assert n16.fwd.mem_s <= n32.fwd.mem_s
+
+    def test_tensor_core_machine_lifts_conv_roof(
+            self, fp32_graph, fp16_graph):
+        fp32 = simulate(fp32_graph, VOLTA_V100)
+        fp16 = simulate(fp16_graph, VOLTA_V100)
+        conv32 = [n for n in fp32.nodes if n.kind is OpKind.CONV]
+        conv16 = [n for n in fp16.nodes if n.kind is OpKind.CONV]
+        assert sum(n.fwd.compute_s for n in conv16) \
+            < sum(n.fwd.compute_s for n in conv32)
+
+
+class TestAccumulateHonesty:
+    def test_fp16_conv_writes_priced_at_accumulate_width(
+            self, fp32_graph, fp16_graph):
+        """fp32-accumulated fp16 GEMMs spill fp32 partial sums: a conv
+        whose output misses cache writes the same bytes at fp16 as at
+        fp32, while its read traffic halves."""
+        fp32 = simulate(fp32_graph, SKYLAKE_2S)
+        fp16 = simulate(fp16_graph, SKYLAKE_2S)
+        # DenseNet at batch 120: conv outputs are paper-scale and
+        # DRAM-bound at both precisions, so halving never flips
+        # residency for these nodes; pick one to check exactly.
+        for n32, n16 in zip(fp32.nodes, fp16.nodes):
+            if n32.kind is OpKind.CONV and n32.fwd.dram_bytes:
+                assert n16.fwd.dram_bytes > n32.fwd.dram_bytes // 2
+                assert n16.fwd.dram_bytes < n32.fwd.dram_bytes
+                break
+        else:
+            pytest.fail("no DRAM-bound conv found")
+
+    def test_fp16_gemm_pays_downconvert_ops(self, fp16_graph):
+        for node in fp16_graph.nodes:
+            if node.kind is OpKind.CONV:
+                fwd, bwd = gemm_conversion_ops(node, fp16_graph, 4)
+                y = fp16_graph.tensor(node.outputs[0])
+                x = fp16_graph.tensor(node.inputs[0])
+                assert fwd == float(y.num_elements)
+                assert bwd == float(x.num_elements)
+                break
+
+
+class TestMixedPrecisionFootprint:
+    def test_master_weights_counted_for_narrow_graphs(
+            self, fp32_graph, fp16_graph):
+        plain = training_footprint(fp16_graph)
+        mixed = training_footprint(fp16_graph,
+                                   master_dtype=np.dtype(np.float32))
+        assert plain.master_weight_bytes == 0
+        assert mixed.master_weight_bytes > 0
+        assert mixed.retained_bytes == plain.retained_bytes
+        assert mixed.total_retained_bytes \
+            == mixed.retained_bytes + mixed.master_weight_bytes
+        # An fp32 graph keeps no extra master copies.
+        assert training_footprint(
+            fp32_graph, master_dtype=np.dtype(np.float32)
+        ).master_weight_bytes == 0
+
+    def test_fp16_halves_retained_activations(self, fp32_graph, fp16_graph):
+        assert training_footprint(fp16_graph).retained_bytes * 2 \
+            == training_footprint(fp32_graph).retained_bytes

@@ -1,0 +1,99 @@
+"""Property tests for precision-aware roofline pricing.
+
+For *any* grid cell:
+
+* lean (non-GEMM) layers are bandwidth-bound beneficiaries: fp16 never
+  makes any of them slower — their compute roof is monotone in precision
+  and their traffic only shrinks;
+* no pass ever beats the machine's fp16 peak — the roofline floor holds
+  even when a huge tensor-core peak makes compute nearly free;
+* fp16 DRAM traffic never exceeds fp32's, node by node (residency flips
+  only ever remove traffic, and accumulate-width writes cap at the fp32
+  cost);
+* pricing a cell at fp32 through the precision machinery is bit-identical
+  to the precision-oblivious default.
+
+(A compute-bound convolution on a storage-only-fp16 machine may get
+*slightly slower* at fp16 — the fp32-accumulation downconvert is real
+work — which is why total-time monotonicity is asserted only for the
+lean layers, matching the paper's bandwidth-bound framing.)
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hw.presets import preset_names
+from repro.perf.simulator import simulate
+from repro.sweep import GraphCache, SweepCell, cell_hardware, price_cell
+
+#: Shared across examples: graph builds and restructurings are pure, so
+#: memoizing them only makes shrinking faster.
+_CACHE = GraphCache()
+
+MODELS = ("tiny_cnn", "tiny_resnet", "tiny_densenet", "tiny_mobilenet")
+SCENARIOS = ("baseline", "bnff")
+
+cells = st.builds(
+    SweepCell,
+    model=st.sampled_from(MODELS),
+    hardware=st.sampled_from(preset_names()),
+    scenario=st.sampled_from(SCENARIOS),
+    # Spans fully cache-resident toys through DRAM-bound sizes.
+    batch=st.sampled_from((1, 4, 32, 128, 512)),
+)
+
+
+def _costs_at(cell, precision):
+    graph = _CACHE.scenario_graph(cell.model, cell.batch, cell.scenario,
+                                  precision)
+    return simulate(graph, cell_hardware(cell), scenario=cell.scenario,
+                    precision=precision)
+
+
+@settings(max_examples=40, deadline=None)
+@given(cell=cells)
+def test_fp16_never_slows_bandwidth_bound_layers(cell):
+    fp32 = _costs_at(cell, "fp32")
+    fp16 = _costs_at(cell, "fp16")
+    for n32, n16 in zip(fp32.nodes, fp16.nodes):
+        assert n16.dram_bytes <= n32.dram_bytes
+        if n32.kind.name in ("CONV", "FC"):
+            continue  # GEMMs may pay the downconvert; bounded below.
+        assert n16.fwd.time_s <= n32.fwd.time_s
+        assert n16.bwd.time_s <= n32.bwd.time_s
+
+
+@settings(max_examples=40, deadline=None)
+@given(cell=cells)
+def test_no_pass_beats_the_fp16_peak(cell):
+    """Roofline floor: compute time is bounded below by FLOPs at the
+    *best* (fp16) peak, and total time by DRAM bytes at peak bandwidth."""
+    hw = cell_hardware(cell)
+    fp16 = _costs_at(cell, "fp16")
+    peak = hw.peak_flops_for("fp16")
+    bw = hw.effective_bandwidth()
+    for node in fp16.nodes:
+        for p in (node.fwd, node.bwd):
+            if p.flops:
+                assert p.compute_s >= p.flops / peak * 0.999999
+            assert p.time_s >= p.mem_s
+            assert p.mem_s >= (p.dram_bytes / bw) * 0.999999
+
+
+@settings(max_examples=25, deadline=None)
+@given(cell=cells)
+def test_fp32_precision_axis_is_bit_identical(cell):
+    graph = _CACHE.scenario_graph(cell.model, cell.batch, cell.scenario)
+    hw = cell_hardware(cell)
+    assert simulate(graph, hw, scenario=cell.scenario, precision="fp32") \
+        == simulate(graph, hw, scenario=cell.scenario)
+
+
+@settings(max_examples=15, deadline=None)
+@given(cell=cells)
+def test_price_cell_threads_the_precision(cell):
+    """The sweep path and a direct precision-threaded simulate agree."""
+    fp16_cell = SweepCell(model=cell.model, hardware=cell.hardware,
+                          scenario=cell.scenario, batch=cell.batch,
+                          precision="fp16")
+    assert price_cell(fp16_cell, _CACHE) == _costs_at(fp16_cell, "fp16")

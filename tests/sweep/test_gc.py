@@ -1,0 +1,145 @@
+"""Sweep-cache garbage collection: caps hold, hot entries survive,
+quarantine files age out, and a bounded cache stays bounded across runs."""
+
+import os
+import time
+
+import pytest
+
+from repro.sweep import (
+    GraphCache,
+    PersistentCache,
+    SweepSession,
+    SweepSpec,
+    run_sweep,
+)
+
+GRID = SweepSpec(
+    name="gc",
+    models=("tiny_cnn", "tiny_densenet"),
+    scenarios=("baseline", "rcf", "bnff"),
+    batches=(4,),
+)
+
+
+def _cache_files(root):
+    return [
+        os.path.join(dirpath, name)
+        for dirpath, _, names in os.walk(root)
+        for name in names
+        if name.endswith(".pkl")
+    ]
+
+
+def _cache_bytes(root):
+    return sum(os.path.getsize(p) for p in _cache_files(root))
+
+
+@pytest.fixture
+def cache_dir(tmp_path):
+    return str(tmp_path / "sweep-cache")
+
+
+def test_entry_cap_respected(cache_dir):
+    persist = PersistentCache(cache_dir, max_entries=5)
+    run_sweep(GRID, cache=GraphCache(persist=persist))
+    persist.gc()
+    assert len(_cache_files(cache_dir)) <= 5
+    assert persist.stats.evicted > 0
+
+
+def test_byte_cap_respected_after_repeated_warm_runs(cache_dir):
+    """The acceptance bit: .sweep_cache stays under the configured cap
+    after repeated warm runs of a session with max_cache_bytes set."""
+    cap = 64 * 1024
+    for _ in range(3):
+        with SweepSession(cache_dir=cache_dir,
+                          max_cache_bytes=cap) as session:
+            session.run(GRID)
+    assert _cache_bytes(cache_dir) <= cap
+
+
+def test_hottest_entries_survive(cache_dir):
+    persist = PersistentCache(cache_dir)
+    cache = GraphCache(persist=persist)
+    store = run_sweep(GRID, cache=cache)
+    cells = GRID.cells()
+
+    # Age every entry, then touch two via genuine loads (the hit path
+    # bumps mtime) — LRU eviction must keep exactly the touched ones.
+    past = time.time() - 3600
+    for path in _cache_files(cache_dir):
+        os.utime(path, (past, past))
+    hot = [cells[0].key(), cells[-1].key()]
+    fresh = PersistentCache(cache_dir)
+    for key in hot:
+        assert fresh.load_cost(key) is not None
+
+    capped = PersistentCache(cache_dir, max_entries=2)
+    capped.gc()
+    survivors = {os.path.basename(p) for p in _cache_files(cache_dir)}
+    assert survivors == {f"{k}.pkl" for k in hot}
+    assert len(store) > 2  # something was actually evicted
+
+
+def test_rejected_files_age_out_but_recent_ones_stay(cache_dir):
+    persist = PersistentCache(cache_dir, rejected_retention_s=100.0)
+    cache = GraphCache(persist=persist)
+    run_sweep(GRID, cache=cache)
+    cells = GRID.cells()
+
+    # Corrupt two entries and read them back: both get quarantined.
+    for cell in cells[:2]:
+        with open(persist.path_for("cost", cell.key()), "wb") as fh:
+            fh.write(b"garbage")
+    reader = PersistentCache(cache_dir, rejected_retention_s=100.0)
+    for cell in cells[:2]:
+        assert reader.load_cost(cell.key()) is None
+    rejected = [
+        os.path.join(dirpath, name)
+        for dirpath, _, names in os.walk(cache_dir)
+        for name in names
+        if name.endswith(".rejected")
+    ]
+    assert len(rejected) == 2
+
+    # Age one beyond retention; gc purges it and keeps the fresh one.
+    old = time.time() - 1000
+    os.utime(rejected[0], (old, old))
+    reader.gc()
+    assert not os.path.exists(rejected[0])
+    assert os.path.exists(rejected[1])
+    assert reader.stats.purged == 1
+
+
+def test_gc_without_caps_only_sweeps_quarantine(cache_dir):
+    persist = PersistentCache(cache_dir)
+    run_sweep(GRID, cache=GraphCache(persist=persist))
+    before = set(_cache_files(cache_dir))
+    assert persist.gc() == 0
+    assert set(_cache_files(cache_dir)) == before
+
+
+def test_session_close_runs_gc(cache_dir):
+    session = SweepSession(cache_dir=cache_dir, max_cache_entries=3)
+    session.run(GRID)
+    session.close()
+    assert len(_cache_files(cache_dir)) <= 3
+
+
+def test_evicted_entries_recompute_cleanly(cache_dir):
+    """Eviction is a perf event, never a correctness one."""
+    cold = run_sweep(GRID, cache=GraphCache(persist=PersistentCache(cache_dir)))
+    persist = PersistentCache(cache_dir, max_entries=1)
+    persist.gc()
+    warm_cache = GraphCache(persist=PersistentCache(cache_dir))
+    warm = run_sweep(GRID, cache=warm_cache)
+    assert [r.cost for r in warm.rows] == [r.cost for r in cold.rows]
+    assert warm_cache.stats.cost_misses > 0  # recomputed, not crashed
+
+
+def test_bad_cap_values_rejected(cache_dir):
+    with pytest.raises(ValueError):
+        PersistentCache(cache_dir, max_bytes=0)
+    with pytest.raises(ValueError):
+        PersistentCache(cache_dir, max_entries=-1)

@@ -14,6 +14,7 @@ from repro.sweep import (
     CACHE_FORMAT_VERSION,
     GraphCache,
     PersistentCache,
+    SweepSession,
     SweepSpec,
     run_sweep,
 )
@@ -201,3 +202,61 @@ def test_store_is_idempotent_and_atomic(cache_dir):
         if not name.endswith(".pkl")
     ]
     assert leftovers == []
+
+
+def test_pre_v2_entry_degrades_to_cold_compute(cache_dir):
+    """Regression for the v1 -> v2 format bump: v1 costs were priced
+    without per-precision capability tables, so a v1-era entry must read
+    as a miss and recompute — never serve as a hit."""
+    cold_cache = GraphCache(persist=PersistentCache(cache_dir))
+    cold = run_sweep(GRID, cache=cold_cache)
+    assert CACHE_FORMAT_VERSION >= 2
+
+    # Rewrite every cost entry as the fp32-era v1 format would have
+    # written it: same envelope layout, format tag 1.
+    persist = PersistentCache(cache_dir)
+    for cell in GRID.cells():
+        path = persist.path_for("cost", cell.key())
+        with open(path, "rb") as fh:
+            envelope = pickle.load(fh)
+        envelope["format"] = 1
+        with open(path, "wb") as fh:
+            pickle.dump(envelope, fh)
+
+    cache = GraphCache(persist=PersistentCache(cache_dir))
+    store = run_sweep(GRID, cache=cache)
+    assert cache.stats.cost_misses == len(store)
+    assert cache.stats.cost_disk_hits == 0
+    assert _totals(store) == _totals(cold)
+
+
+def test_node_counts_persist_and_feed_the_scheduler(cache_dir):
+    """Observed node counts land on disk next to the costs and replace
+    the static estimate on warm runs."""
+    cache = GraphCache(persist=PersistentCache(cache_dir))
+    run_sweep(GRID, cache=cache)
+    cells = GRID.cells()
+
+    # A fresh cache over the same directory knows every graph's size.
+    warm = GraphCache(persist=PersistentCache(cache_dir))
+    for cell in cells:
+        count = warm.node_count(cell.scenario_key())
+        graph = cache.scenario_graph(cell.model, cell.batch, cell.scenario)
+        assert count == len(graph.nodes)
+
+    # And the session turns them into scheduler weights.
+    session = SweepSession(cache=GraphCache(persist=PersistentCache(cache_dir)))
+    estimate = session._estimate_for(cells)
+    assert estimate is not None
+    for cell in cells:
+        graph = cache.scenario_graph(cell.model, cell.batch, cell.scenario)
+        assert estimate(cell) == float(len(graph.nodes))
+    session.close()
+
+
+def test_unknown_graphs_keep_static_estimate(cache_dir):
+    session = SweepSession(cache_dir=cache_dir)
+    cells = GRID.cells()
+    # Nothing has been built: no observed counts, static default applies.
+    assert session._estimate_for(cells) is None
+    session.close()

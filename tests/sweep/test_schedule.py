@@ -4,6 +4,7 @@ dispatch order and worker assignment are deterministic."""
 from repro.sweep import (
     SweepSpec,
     default_cost_estimate,
+    observed_cost_estimate,
     plan_schedule,
 )
 from repro.sweep.schedule import bundle_groups, group_cells
@@ -98,3 +99,26 @@ def test_duplicate_free_grouping_preserves_enumeration_order_within_groups():
     for group in group_cells(cells):
         indices = [position[c.key()] for c in group.cells]
         assert indices == sorted(indices)
+
+
+def test_observed_estimate_prefers_node_counts():
+    cells = GRID.cells()
+    target = cells[0]
+    counts = {target.scenario_key(): 37}
+    estimate = observed_cost_estimate(counts)
+    assert estimate(target) == 37.0
+    # Unknown graphs fall back to the static guess.
+    other = next(c for c in cells
+                 if c.scenario_key() != target.scenario_key())
+    assert estimate(other) == default_cost_estimate(other)
+
+
+def test_observed_estimate_drives_dispatch_order():
+    cells = GRID.cells()
+    # Give every scenario graph an observed count, inverting the default
+    # batch ordering: small batches get huge graphs.
+    counts = {c.scenario_key(): 1000 - c.batch * 100 for c in cells}
+    plan = plan_schedule(cells, workers=2,
+                         estimate=observed_cost_estimate(counts))
+    batches = [b.cells[0].batch for b in plan.bundles]
+    assert batches == sorted(batches)

@@ -1,0 +1,111 @@
+"""Bench kernel precision — drift stats + stats-kernel wall time per precision.
+
+The functional side of the precision axis: run the BN statistics kernels
+at every storage precision (fp16 / software bf16 / fp32, all with fp32
+accumulation) and record
+
+* the **variance drift** table from :mod:`repro.kernels.drift` — the
+  Section 3.2 number the paper asserts but never prints — and
+* the **wall time** of each one-pass kernel invocation per precision
+  (best-of-3 on a paper-scale activation tensor), so the cost of the
+  bf16 software emulation is visible next to the native dtypes.
+
+Everything lands in ``BENCH_kernel_precision.json`` (uploaded by the CI
+bench-smoke job alongside ``BENCH_sweep.json`` / ``BENCH_precision.json``;
+quick mode shrinks the tensor, full mode is paper scale).
+"""
+
+import json
+import os
+import time
+
+import numpy as np
+
+from repro.config import rng
+from repro.kernels import onepass_stats, quantize_storage, variance_drift
+from repro.kernels.drift import DRIFT_PRECISIONS, METHODS
+
+QUICK = bool(os.environ.get("BENCH_SWEEP_QUICK"))
+
+#: Drift sweep shape (per-channel population: N*H*W).
+SHAPE = (8, 8, 14, 14) if QUICK else (32, 16, 28, 28)
+#: Wall-time tensor: paper-scale conv output (batch 32, 64ch, 28x28).
+TIMING_SHAPE = (8, 8, 14, 14) if QUICK else (32, 64, 28, 28)
+REPEATS = 3
+
+OUT_PATH = os.environ.get("BENCH_KERNEL_PRECISION_JSON",
+                          "BENCH_kernel_precision.json")
+
+
+def _best_of(fn, repeats=REPEATS):
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def test_kernel_precision_drift_and_walltime(artifact):
+    report = variance_drift(shape=SHAPE)
+
+    # Structural coverage: the full precision x method grid priced.
+    assert len(report.cells) == len(DRIFT_PRECISIONS) * len(METHODS)
+    for cell in report.cells:
+        assert np.isfinite(cell.max_rel_err)
+    # The paper's claim holds where it is made: on realistic (non-corner)
+    # activations the one-pass fp32-accumulated drift is tiny.
+    for precision in DRIFT_PRECISIONS:
+        post_conv = report.detail[(precision, "one-pass", "post_conv")]
+        assert post_conv.max() < 1e-3
+
+    base = rng(11).normal(0.0, 1.5, TIMING_SHAPE)
+    wall = {}
+    for precision in DRIFT_PRECISIONS:
+        x = quantize_storage(base, precision)
+        wall[precision] = {
+            "quantize_s": _best_of(
+                lambda: quantize_storage(base, precision)),
+            "onepass_fp32_accum_s": _best_of(
+                lambda: onepass_stats(x, accumulate_dtype=np.float32)),
+            "onepass_fp64_accum_s": _best_of(
+                lambda: onepass_stats(x, accumulate_dtype=np.float64)),
+        }
+
+    payload = {
+        "quick": QUICK,
+        "shape": list(SHAPE),
+        "timing_shape": list(TIMING_SHAPE),
+        "accumulate_dtype": report.accumulate_dtype,
+        "drift": [
+            {
+                "precision": c.precision,
+                "method": c.method,
+                "max_rel_err": c.max_rel_err,
+                "p99_rel_err": c.p99_rel_err,
+                "median_rel_err": c.median_rel_err,
+                "worst_distribution": c.worst_distribution,
+                "samples": c.samples,
+            }
+            for c in report.cells
+        ],
+        "wall_s": wall,
+    }
+    with open(OUT_PATH, "w") as fh:
+        json.dump(payload, fh, indent=2)
+
+    lines = [f"kernel precision (shape {SHAPE}, quick={QUICK}):"]
+    for c in report.cells:
+        lines.append(
+            f"  {c.precision:5s} {c.method:9s} max {c.max_rel_err:9.2e}  "
+            f"p99 {c.p99_rel_err:9.2e}  median {c.median_rel_err:9.2e}  "
+            f"({c.worst_distribution})"
+        )
+    for precision, times in wall.items():
+        lines.append(
+            f"  {precision:5s} one-pass {times['onepass_fp32_accum_s'] * 1e3:7.2f} ms "
+            f"(fp32 accum) / {times['onepass_fp64_accum_s'] * 1e3:7.2f} ms "
+            f"(fp64 accum)"
+        )
+    lines.append(f"  -> {OUT_PATH}")
+    artifact("\n".join(lines))

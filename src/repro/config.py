@@ -21,6 +21,13 @@ DTYPE_BYTES = {
     np.dtype(np.float16): 2,
 }
 
+#: Bytes per element for the supported *precision names* (narrowest first).
+#: This is the numpy-free byte-width path: bf16 has no native numpy dtype,
+#: so it exists throughout the analytical layers as a name plus a byte
+#: width, with fp32 ndarrays as the functional emulation container (values
+#: mantissa-truncated by :func:`repro.kernels.bf16.bf16_round`).
+PRECISION_BYTES = {"fp16": 2, "bf16": 2, "fp32": 4, "fp64": 8}
+
 #: Default RNG seed so every experiment, test and example is reproducible.
 DEFAULT_SEED = 20190402  # MLSys 2019 conference date.
 
@@ -33,6 +40,19 @@ BN_EPSILON = 1e-5
 #: our checks quantify that claim.
 FUSED_EQUIV_RTOL = 1e-4
 FUSED_EQUIV_ATOL = 1e-5
+
+
+def stat_dtype(dtype) -> np.dtype:
+    """The dtype BN statistics are kept at: never narrower than fp32.
+
+    Per-channel mean/variance vectors are cache-resident kilobytes, so
+    keeping them wide costs nothing while protecting every downstream
+    ``1/sqrt(var + eps)`` from sub-fp32 rounding. The single source of
+    the fp32-floor rule — :mod:`repro.kernels.bn_stats` re-exports it
+    and :mod:`repro.nn.batchnorm` applies it (both sides must agree, and
+    importing either from the other would be circular).
+    """
+    return np.promote_types(np.dtype(dtype), np.float32)
 
 
 def dtype_bytes(dtype) -> int:

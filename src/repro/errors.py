@@ -38,3 +38,8 @@ class SimulationError(ReproError):
 
 class SweepSpecError(ReproError, ValueError):
     """A sweep grid declaration references unknown axes or axis values."""
+
+
+class PrecisionError(ReproError, ValueError):
+    """A kernel or tensor was asked to run at an unsupported precision,
+    or with an accumulate dtype narrower than the contract allows."""

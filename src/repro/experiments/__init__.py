@@ -9,6 +9,7 @@ script — runs any subset and prints paper-vs-measured.
 
 from repro.experiments import (
     ext_depth_scaling,
+    ext_kernel_precision,
     ext_mobilenet,
     ext_precision,
     figure1,
@@ -34,6 +35,7 @@ EXPERIMENTS = {
     "ext_mobilenet": ext_mobilenet,
     "ext_depth_scaling": ext_depth_scaling,
     "ext_precision": ext_precision,
+    "ext_kernel_precision": ext_kernel_precision,
 }
 
 __all__ = ["EXPERIMENTS"]

@@ -14,7 +14,11 @@ design space:
 * ``volta_v100`` — tensor cores move the GEMM roof too (fp32
   accumulation priced honestly: spilled partial sums and the final
   downconvert are charged), so convolutions speed up alongside the lean
-  layers and the *relative* BN share stays high.
+  layers and the *relative* BN share stays high;
+* ``ampere_a100`` — adds real *bf16* pipes at the fp16 tensor-core rate,
+  so the two 2-byte precisions price identically on the roofline and
+  differ only in numerics (quantified by ``ext_kernel_precision`` on the
+  functional side).
 
 The headline prediction: BNFF's fractional gain survives — and on
 compute-boosted machines grows — under mixed precision, because fp16
@@ -44,8 +48,8 @@ PAPER = {
 }
 
 MODELS = ("densenet121", "resnet50")
-HARDWARE = ("skylake_2s", "volta_v100")
-PRECISIONS = ("fp32", "fp16")
+HARDWARE = ("skylake_2s", "volta_v100", "ampere_a100")
+PRECISIONS = ("fp32", "fp16", "bf16")
 SCENARIOS = ("baseline", "bnff")
 
 GRID = SweepSpec(
@@ -88,13 +92,18 @@ class PrecisionResult:
                 return r
         raise KeyError((model, hardware, precision))
 
+    def speedup(self, model: str, hardware: str, precision: str,
+                scenario: str = "baseline") -> float:
+        """fp32 / *precision* iteration-time ratio for one grid leg."""
+        fp32 = self.row(model, hardware, "fp32")
+        narrow = self.row(model, hardware, precision)
+        pick = (lambda r: r.bnff) if scenario == "bnff" else (lambda r: r.baseline)
+        return pick(fp32).total_time_s / pick(narrow).total_time_s
+
     def fp16_speedup(self, model: str, hardware: str,
                      scenario: str = "baseline") -> float:
         """fp32 / fp16 iteration-time ratio for one grid leg."""
-        fp32 = self.row(model, hardware, "fp32")
-        fp16 = self.row(model, hardware, "fp16")
-        pick = (lambda r: r.bnff) if scenario == "bnff" else (lambda r: r.baseline)
-        return pick(fp32).total_time_s / pick(fp16).total_time_s
+        return self.speedup(model, hardware, "fp16", scenario)
 
 
 def run(batch: int = 120) -> PrecisionResult:
@@ -128,7 +137,7 @@ def run(batch: int = 120) -> PrecisionResult:
 def render(result: PrecisionResult) -> str:
     table_rows = []
     for r in result.rows:
-        speedup = result.fp16_speedup(r.model, r.hardware)
+        speedup = result.speedup(r.model, r.hardware, r.precision)
         table_rows.append((
             r.model, r.hardware, r.precision,
             f"{r.baseline.total_time_s * 1000:.1f}",
@@ -138,7 +147,7 @@ def render(result: PrecisionResult) -> str:
         ))
     table = format_table(
         ["model", "hardware", "precision", "baseline (ms)", "bnff (ms)",
-         "bnff gain", "fp16 speedup"],
+         "bnff gain", "speedup vs fp32"],
         table_rows,
         title="Extension: mixed-precision efficiency (batch 120)",
     )

@@ -34,6 +34,9 @@ def graph_to_dict(graph: LayerGraph) -> Dict[str, Any]:
                 "shape": list(t.shape),
                 "kind": t.kind.value,
                 "dtype": t.dtype.name,
+                # Only re-typed graphs carry a precision name; omitting the
+                # key otherwise keeps pre-precision dumps byte-identical.
+                **({"precision": t.precision} if t.precision else {}),
             }
             for t in graph.tensors.values()
         ],
@@ -80,6 +83,7 @@ def graph_from_dict(data: Dict[str, Any]) -> LayerGraph:
         graph.add_tensor(TensorSpec(
             t["name"], tuple(t["shape"]),
             kind=TensorKind(t["kind"]), dtype=np.dtype(t["dtype"]),
+            precision=t.get("precision"),
         ))
     for n in data["nodes"]:
         node = Node(

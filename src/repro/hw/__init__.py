@@ -12,6 +12,7 @@ once in :mod:`repro.hw.presets` and frozen for every experiment.
 from repro.hw.spec import PRECISION_BYTES, PRECISIONS, HardwareSpec
 from repro.hw.cache import CacheModel
 from repro.hw.presets import (
+    AMPERE_A100,
     SKYLAKE_2S,
     SKYLAKE_2S_HALF_BW,
     KNIGHTS_LANDING,
@@ -34,5 +35,6 @@ __all__ = [
     "PASCAL_TITAN_X_CUTLASS",
     "TABLE1_ARCHITECTURES",
     "VOLTA_V100",
+    "AMPERE_A100",
     "get_preset",
 ]

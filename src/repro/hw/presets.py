@@ -25,10 +25,12 @@ pipes — Skylake-SP has no AVX512-FP16 and GP102's native fp16 FMA rate is
 vestigial — so on them fp16 is *storage-only*: compute converts to fp32 in
 registers (the fp32 peaks apply, the default fallback) and only the memory
 sweeps shrink. Their fp64 entries are the half-rate (CPU SIMD) /
-1:32-rate (GP102) DP pipes. ``volta_v100`` is the one preset with a real
-reduced-precision compute ceiling (tensor cores, fp32 accumulation) — the
-machine the paper's GPU mixed-precision training would use one generation
-later.
+1:32-rate (GP102) DP pipes. ``volta_v100`` is the first preset with a real
+reduced-precision compute ceiling (fp16 tensor cores, fp32 accumulation) —
+the machine the paper's GPU mixed-precision training would use one
+generation later — and ``ampere_a100`` adds the first *bf16* pipes, making
+the two 2-byte precisions distinct capability-table keys rather than an
+interchangeable byte width.
 """
 
 from __future__ import annotations
@@ -153,6 +155,49 @@ VOLTA_V100 = HardwareSpec(
     accumulate_dtype="fp32",
 )
 
+#: Nvidia Ampere A100 (SXM4 40GB) — two generations past Table 1 and the
+#: first preset where *bf16* is a real compute precision: third-generation
+#: tensor cores run fp16 and bf16 at the same 312 TFLOPS peak (fp32
+#: accumulation), so the two 2-byte precisions differ only in numerics —
+#: exactly the distinction the per-precision capability tables (and the
+#: drift experiment in :mod:`repro.kernels.drift`) exist to keep honest.
+#: Elementwise = one SP op per CUDA core per clock (6912 x 1.41 GHz),
+#: doubled for the packed-math 2-byte precisions.
+AMPERE_A100 = HardwareSpec(
+    name="ampere_a100",
+    peak_flops=19.5 * TFLOPS,
+    elementwise_ops=9.7e12,
+    dram_bandwidth=1555.0 * GB,
+    llc_bytes=int(40 * MB),
+    stream_efficiency=0.70,
+    elementwise_efficiency=0.55,
+    write_allocate_factor=2.0,
+    conv_traffic_factor=2.0,
+    conv_efficiency_by_kernel={1: 0.32, 3: 0.52, 5: 0.55, 7: 0.55, 11: 0.55},
+    fc_efficiency=0.35,
+    bwd_efficiency_scale=0.90,
+    call_overhead_s=8e-6,
+    peak_flops_by_precision={
+        "fp16": 312.0 * TFLOPS,
+        "bf16": 312.0 * TFLOPS,
+        "fp64": 9.7 * TFLOPS,
+    },
+    elementwise_ops_by_precision={
+        "fp16": 1.94e13,
+        "bf16": 1.94e13,
+        "fp64": 4.85e12,
+    },
+    # Like Volta's fp16 fractions: the enormous tensor-core peaks are
+    # reached at a far smaller fraction than the fp32 peak on DenseNet/
+    # ResNet-shaped convolutions.
+    conv_efficiency_by_precision={
+        "fp16": {1: 0.08, 3: 0.18, 5: 0.20, 7: 0.20, 11: 0.20},
+        "bf16": {1: 0.08, 3: 0.18, 5: 0.20, 7: 0.20, 11: 0.20},
+    },
+    fc_efficiency_by_precision={"fp16": 0.22, "bf16": 0.22},
+    accumulate_dtype="fp32",
+)
+
 #: Table 1 rows, in the paper's order.
 TABLE1_ARCHITECTURES = (SKYLAKE_2S, KNIGHTS_LANDING, PASCAL_TITAN_X)
 
@@ -163,6 +208,7 @@ _PRESETS: Dict[str, HardwareSpec] = {
     "pascal_titan_x": PASCAL_TITAN_X,
     "pascal_titan_x_cutlass": PASCAL_TITAN_X_CUTLASS,
     "volta_v100": VOLTA_V100,
+    "ampere_a100": AMPERE_A100,
 }
 
 

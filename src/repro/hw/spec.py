@@ -7,13 +7,18 @@ import math
 from dataclasses import dataclass, field
 from typing import Dict, Tuple
 
+from repro.config import PRECISION_BYTES
 from repro.errors import HardwareSpecError
 
-#: The precisions the roofline model can price, narrowest first.
-PRECISIONS: Tuple[str, ...] = ("fp16", "fp32", "fp64")
+#: The precisions the roofline model can price, narrowest first. bf16 and
+#: fp16 share a byte width but are distinct capability-table keys — a
+#: machine can have fast fp16 pipes and no bf16 ones (Volta) or both
+#: (Ampere), so byte width alone can never identify a precision.
+PRECISIONS: Tuple[str, ...] = ("fp16", "bf16", "fp32", "fp64")
 
-#: Element width of each precision (the traffic model's byte multiplier).
-PRECISION_BYTES: Dict[str, int] = {"fp16": 2, "fp32": 4, "fp64": 8}
+# PRECISION_BYTES is re-exported from :mod:`repro.config` (the canonical
+# byte-width map); imported above so existing ``from repro.hw.spec import
+# PRECISION_BYTES`` callers keep working.
 
 
 def _check_precision(name: str, precision: str) -> None:

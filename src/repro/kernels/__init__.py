@@ -6,6 +6,10 @@ minimal number of times prescribed by the paper's Figure 5:
 
 * :mod:`repro.kernels.bn_stats` — MVF: mean and variance from one sweep via
   ``Var(X) = E(X^2) - E(X)^2``.
+* :mod:`repro.kernels.bf16` — software bfloat16 (mantissa-truncated fp32),
+  so kernels can run bf16 inputs without a native numpy dtype.
+* :mod:`repro.kernels.drift` — the Section 3.2 measurement the paper
+  asserts but never prints: variance drift per storage precision.
 * :mod:`repro.kernels.relu_conv_fused` — RCF: ReLU folded into the following
   convolution's input read (forward) and its backward-data write (backward).
 * :mod:`repro.kernels.conv_bn_fused` — CONV1-(sub-BN1): statistics
@@ -20,13 +24,24 @@ The kernels never *store* the normalized or rectified intermediate feature
 maps — only the pre-BN convolution output survives, exactly the paper's
 restructured dataflow — so numerical agreement of these functions with the
 reference layer chain is the correctness claim of the whole reproduction.
+
+Every kernel takes an explicit ``accumulate_dtype`` (fp32 or wider):
+inputs arrive at their storage precision — fp16/fp32/fp64 natively, bf16
+through the :func:`~repro.kernels.bf16.bf16_round` emulation — and all
+partial sums are held at the accumulator width, the way the paper's
+measured fp32-accumulation variant (and every tensor-core GEMM) works.
 """
 
+from repro.kernels.bf16 import bf16_round
 from repro.kernels.bn_stats import (
     onepass_stats,
+    onepass_stats_fp32,
     twopass_stats,
     chunked_onepass_stats,
+    resolve_accumulate_dtype,
+    stat_dtype,
 )
+from repro.kernels.drift import quantize_storage, variance_drift
 from repro.kernels.relu_conv_fused import relu_conv_forward, relu_conv_backward
 from repro.kernels.conv_bn_fused import (
     conv_bn_stats_forward,
@@ -42,8 +57,14 @@ from repro.kernels.verify import max_abs_diff, assert_fused_equal
 
 __all__ = [
     "onepass_stats",
+    "onepass_stats_fp32",
     "twopass_stats",
     "chunked_onepass_stats",
+    "resolve_accumulate_dtype",
+    "stat_dtype",
+    "bf16_round",
+    "quantize_storage",
+    "variance_drift",
     "relu_conv_forward",
     "relu_conv_backward",
     "conv_bn_stats_forward",

@@ -1,0 +1,48 @@
+"""Software bfloat16: round-trip emulation without a native numpy dtype.
+
+bfloat16 keeps fp32's 8 exponent bits and truncates the mantissa from 23
+bits to 7, so every bf16 value is exactly representable in fp32 and the
+whole format can be emulated by *rounding* fp32 arrays onto the bf16 grid:
+:func:`bf16_round` is that projection (round-to-nearest-even, the rounding
+every real bf16 pipe implements). Functional kernels then "run at bf16" by
+quantizing their inputs through this helper while accumulating in fp32 —
+exactly the tensor-core semantics the roofline model prices, with fp32
+ndarrays as the storage container (see ``PRECISION_BYTES`` in
+:mod:`repro.config` for the byte-width side of the emulation).
+
+The projection is idempotent (bf16 values round to themselves) and
+monotone (it cannot reorder values) — both pinned by the property tests —
+which is what makes it safe to apply anywhere in a kernel pipeline.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Largest finite bf16 value: 0x7F7F0000 as an fp32 bit pattern.
+BF16_MAX = float(np.array(0x7F7F0000, dtype=np.uint32).view(np.float32)[()])
+
+
+def bf16_round(x: np.ndarray) -> np.ndarray:
+    """Round *x* to the nearest bfloat16 value, returned as fp32.
+
+    Round-to-nearest-even on the fp32 bit pattern: add ``0x7FFF`` plus the
+    tie-breaking bit 16, then clear the low 16 bits. Values beyond
+    ``BF16_MAX`` round to infinity (bf16 shares fp32's exponent range, so
+    nothing else overflows); NaN payloads pass through as NaN rather than
+    being carried into the infinity encoding by the rounding bias.
+
+    Accepts any float input (upcast/downcast to fp32 first — fp32 *is*
+    the bf16 emulation container) and never modifies its argument.
+    """
+    x32 = np.asarray(x, dtype=np.float32)
+    bits = np.ascontiguousarray(x32).view(np.uint32)
+    rounded = (bits + np.uint32(0x7FFF) + ((bits >> np.uint32(16))
+                                           & np.uint32(1))) \
+        & np.uint32(0xFFFF0000)
+    out = rounded.view(np.float32)
+    # The bias can walk a NaN mantissa into the infinity encoding; restore.
+    nan = np.isnan(x32)
+    if nan.any():
+        out = np.where(nan, np.float32(np.nan), out)
+    return out.reshape(x32.shape)

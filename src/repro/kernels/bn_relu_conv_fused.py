@@ -28,6 +28,7 @@ import numpy as np
 
 from repro.config import BN_EPSILON
 from repro.errors import ExecutionError
+from repro.kernels.bn_stats import resolve_accumulate_dtype
 from repro.kernels.conv_bn_fused import (
     conv_bn_input_grad_backward,
     conv_bn_stats_forward,
@@ -44,8 +45,22 @@ def _affine_normalize(
     gamma: np.ndarray,
     beta: np.ndarray,
     eps: float,
+    accumulate_dtype=None,
 ) -> Tuple[np.ndarray, np.ndarray]:
-    """Return (x_hat, bn_out) for the saved statistics — the sub-BN2 math."""
+    """Return (x_hat, bn_out) for the saved statistics — the sub-BN2 math.
+
+    With ``accumulate_dtype`` set (fp32+), the per-channel vectors are
+    lifted to the accumulator so sub-fp32 inputs normalize at fp32;
+    ``bn_out`` is downcast to the storage dtype either way (it is the
+    transient tensor the real kernel hands to the convolution's input
+    tiles), while ``x_hat`` stays at the math dtype for the reductions.
+    """
+    acc = resolve_accumulate_dtype(accumulate_dtype, storage=x.dtype)
+    if acc is not None:
+        mean = mean.astype(acc, copy=False)
+        var = var.astype(acc, copy=False)
+        gamma = gamma.astype(acc, copy=False)
+        beta = beta.astype(acc, copy=False)
     inv_std = 1.0 / np.sqrt(var + eps)
     x_hat = (x - mean[None, :, None, None]) * inv_std[None, :, None, None]
     bn_out = gamma[None, :, None, None] * x_hat + beta[None, :, None, None]
@@ -61,6 +76,7 @@ def bn_relu_conv_forward(
     conv: Conv2d,
     eps: float = BN_EPSILON,
     apply_relu: bool = True,
+    accumulate_dtype=None,
 ) -> np.ndarray:
     """Fused forward: ``conv(relu(bn_affine(x)))`` in one logical sweep.
 
@@ -68,10 +84,18 @@ def bn_relu_conv_forward(
     produced for free by :func:`~repro.kernels.conv_bn_fused.conv_bn_stats_forward`.
     The normalized/rectified tensors are local temporaries — the caller only
     ever keeps ``x``. ``apply_relu=False`` covers direct BN->CONV chains
-    (no activation between them).
+    (no activation between them). With ``accumulate_dtype`` set, the BN
+    affine runs at the accumulator width and the convolution GEMM
+    accumulates there too (its input tiles are upcast, its output downcast
+    to ``x``'s storage dtype — tensor-core semantics).
     """
-    _, bn_out = _affine_normalize(x, mean, var, gamma, beta, eps)
-    return conv.forward(np.maximum(bn_out, 0) if apply_relu else bn_out)
+    acc = resolve_accumulate_dtype(accumulate_dtype, storage=x.dtype)
+    _, bn_out = _affine_normalize(x, mean, var, gamma, beta, eps,
+                                  accumulate_dtype=acc)
+    conv_in = np.maximum(bn_out, 0) if apply_relu else bn_out
+    if acc is not None and acc.itemsize > conv_in.dtype.itemsize:
+        return conv.forward(conv_in.astype(acc)).astype(x.dtype)
+    return conv.forward(conv_in)
 
 
 def bn_relu_conv_backward(
@@ -84,28 +108,44 @@ def bn_relu_conv_backward(
     beta: np.ndarray,
     eps: float = BN_EPSILON,
     apply_relu: bool = True,
+    accumulate_dtype=None,
 ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
     """Fused backward of (sub-BN2)-ReLU-CONV2, including sub-BN2'.
 
     Recomputes the convolution's input from ``bn_x`` (never stored), runs
     both convolution backward halves, applies the ReLU mask to the returned
     gradient (when ``apply_relu``) and reduces dgamma/dbeta in the same
-    sweep.
+    sweep. With ``accumulate_dtype`` set, the recomputed input and the
+    gradient GEMMs run at the accumulator width, the dgamma/dbeta
+    reductions sum there, and ``d_bn_out`` is downcast back to ``dy``'s
+    storage dtype before it travels to the preceding fused kernel.
 
     Returns ``(d_bn_out, dgamma, dbeta)`` where ``d_bn_out`` is the gradient
     at the BN output, ready for the preceding fused convolution's
     sub-BN1' transform.
     """
-    x_hat, bn_out = _affine_normalize(bn_x, mean, var, gamma, beta, eps)
+    acc = resolve_accumulate_dtype(accumulate_dtype, storage=dy.dtype)
+    x_hat, bn_out = _affine_normalize(bn_x, mean, var, gamma, beta, eps,
+                                      accumulate_dtype=acc)
     conv_in = np.maximum(bn_out, 0) if apply_relu else bn_out
+    if acc is not None and acc.itemsize > conv_in.dtype.itemsize:
+        conv_in = conv_in.astype(acc)
+        dy_acc = dy.astype(acc)
+    else:
+        dy_acc = dy
 
     conv.prepare_backward(conv_in)
-    conv.backward_weights(dy)
-    d_conv_in = conv.backward_data(dy)
+    conv.backward_weights(dy_acc)
+    d_conv_in = conv.backward_data(dy_acc)
 
     d_bn_out = d_conv_in * (bn_out > 0) if apply_relu else d_conv_in
-    dgamma = (d_bn_out * x_hat).sum(axis=(0, 2, 3)).astype(gamma.dtype)
-    dbeta = d_bn_out.sum(axis=(0, 2, 3)).astype(beta.dtype)
+    # sum(dtype=None) is numpy's default accumulator — one expression
+    # covers both the contract (dtype=acc) and the legacy path.
+    dgamma = (d_bn_out * x_hat).sum(axis=(0, 2, 3), dtype=acc) \
+        .astype(gamma.dtype)
+    dbeta = d_bn_out.sum(axis=(0, 2, 3), dtype=acc).astype(beta.dtype)
+    if acc is not None:
+        d_bn_out = d_bn_out.astype(dy.dtype, copy=False)
     return d_bn_out, dgamma, dbeta
 
 
@@ -119,7 +159,8 @@ class FusedChain(Module):
     forward and backward — the paper's restructured dataflow.
     """
 
-    def __init__(self, conv1: Conv2d, bn: BatchNorm2d, conv2: Conv2d, name: str = "fused_chain"):
+    def __init__(self, conv1: Conv2d, bn: BatchNorm2d, conv2: Conv2d,
+                 name: str = "fused_chain", accumulate_dtype=None):
         super().__init__(name)
         if conv1.out_channels != bn.channels or bn.channels != conv2.in_channels:
             raise ExecutionError(
@@ -129,17 +170,24 @@ class FusedChain(Module):
         self.conv1 = self.register_module(conv1)
         self.bn = self.register_module(bn)
         self.conv2 = self.register_module(conv2)
+        #: fp32+ accumulator threaded through every fused kernel; None
+        #: keeps the historical native-dtype behaviour (fp32 chains).
+        self.accumulate_dtype = resolve_accumulate_dtype(accumulate_dtype)
 
         self._bn_x: Optional[np.ndarray] = None
         self._mean: Optional[np.ndarray] = None
         self._var: Optional[np.ndarray] = None
 
     def forward(self, x: np.ndarray) -> np.ndarray:
-        bn_x, mean, var = conv_bn_stats_forward(x, self.conv1)
+        bn_x, mean, var = conv_bn_stats_forward(
+            x, self.conv1, accumulate_dtype=self.accumulate_dtype
+        )
         self._bn_x, self._mean, self._var = bn_x, mean, var
         self.bn._update_running(mean, var, bn_x)
         return bn_relu_conv_forward(
-            bn_x, mean, var, self.bn.gamma.data, self.bn.beta.data, self.conv2, self.bn.eps
+            bn_x, mean, var, self.bn.gamma.data, self.bn.beta.data,
+            self.conv2, self.bn.eps,
+            accumulate_dtype=self.accumulate_dtype,
         )
 
     def backward(self, dy: np.ndarray) -> np.ndarray:
@@ -154,6 +202,7 @@ class FusedChain(Module):
             self.bn.gamma.data,
             self.bn.beta.data,
             self.bn.eps,
+            accumulate_dtype=self.accumulate_dtype,
         )
         self.bn.gamma.accumulate_grad(dgamma)
         self.bn.beta.accumulate_grad(dbeta)
@@ -167,4 +216,5 @@ class FusedChain(Module):
             dgamma,
             dbeta,
             self.bn.eps,
+            accumulate_dtype=self.accumulate_dtype,
         )

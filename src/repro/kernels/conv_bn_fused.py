@@ -15,26 +15,39 @@ computed earlier by the following fused layer.
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 
 from repro.nn.conv import Conv2d
-from repro.kernels.bn_stats import onepass_stats
+from repro.kernels.bn_stats import onepass_stats, resolve_accumulate_dtype
 
 
 def conv_bn_stats_forward(
-    x: np.ndarray, conv: Conv2d
+    x: np.ndarray, conv: Conv2d, accumulate_dtype: Optional[object] = None
 ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
     """Run ``conv`` and return ``(y, mean, var)`` from a single output sweep.
 
     The statistics are the one-pass (MVF) form over the convolution's own
     output — the quantity the *following* BN layer needs. Nothing except
     ``y`` itself would reach DRAM in the real kernel; mean/var are
-    per-channel vectors that live in cache.
+    per-channel vectors that live in cache. ``accumulate_dtype`` is the
+    statistics accumulator (fp32+; default fp64) — the partial
+    ``(sum, sum_sq)`` pairs a real fused kernel keeps in registers while
+    the output tile is still on-chip.
     """
+    acc = resolve_accumulate_dtype(accumulate_dtype, storage=x.dtype)
+    if acc is not None and acc.itemsize > x.dtype.itemsize:
+        # Sub-accumulator storage: the GEMM runs at the accumulator width
+        # and only the *stored* output is narrow — stats are taken before
+        # the downcast, like the real fused kernel reading the still-wide
+        # output tile. Storage at least as wide as the accumulator is
+        # never touched (an fp64 input must not be truncated to fp32).
+        y = conv.forward(x.astype(acc))
+        mean, var = onepass_stats(y, accumulate_dtype=acc)
+        return y.astype(x.dtype), mean, var
     y = conv.forward(x)
-    mean, var = onepass_stats(y)
+    mean, var = onepass_stats(y, accumulate_dtype=acc)
     return y, mean, var
 
 
@@ -47,20 +60,37 @@ def bn_input_grad_transform(
     dgamma: np.ndarray,
     dbeta: np.ndarray,
     eps: float,
+    accumulate_dtype: Optional[object] = None,
 ) -> np.ndarray:
     """The sub-BN1' elementwise transform: BN-output grad -> BN-input grad.
 
     ``dX = (gamma * inv_std / M) * (M*dY - dbeta - x_hat * dgamma)`` — the
     standard training-mode BN input gradient, applied on the fly wherever a
     fused kernel consumes the BN-output gradient (preceding CONV backward,
-    ICF'd Split/Concat backward).
+    ICF'd Split/Concat backward). With ``accumulate_dtype`` set (fp32+),
+    the per-channel vectors are lifted to the accumulator before the
+    elementwise math, so sub-fp32 gradients are transformed at fp32 and
+    only the returned tensor is downcast to the storage dtype.
     """
+    acc = resolve_accumulate_dtype(accumulate_dtype, storage=d_bn_out.dtype)
+    d = d_bn_out
+    if acc is not None:
+        mean = mean.astype(acc, copy=False)
+        var = var.astype(acc, copy=False)
+        gamma = gamma.astype(acc, copy=False)
+        dgamma = dgamma.astype(acc, copy=False)
+        dbeta = dbeta.astype(acc, copy=False)
+        # The gradient itself must be lifted before the m-scaling:
+        # ``m * dY`` at fp16 overflows at |dY| >= 65504/m, long before
+        # any realistic gradient magnitude.
+        d = d_bn_out.astype(acc, copy=False)
+        bn_x = bn_x.astype(acc, copy=False)
     inv_std = 1.0 / np.sqrt(var + eps)
     m = d_bn_out.shape[0] * d_bn_out.shape[2] * d_bn_out.shape[3]
     x_hat = (bn_x - mean[None, :, None, None]) * inv_std[None, :, None, None]
     g = (gamma * inv_std)[None, :, None, None]
     d_bn_in = (g / m) * (
-        m * d_bn_out
+        m * d
         - dbeta[None, :, None, None]
         - x_hat * dgamma[None, :, None, None]
     )
@@ -77,6 +107,7 @@ def conv_bn_input_grad_backward(
     dgamma: np.ndarray,
     dbeta: np.ndarray,
     eps: float,
+    accumulate_dtype: Optional[object] = None,
 ) -> np.ndarray:
     """Fused CONV1 backward with the sub-BN1' transform applied inline.
 
@@ -93,15 +124,25 @@ def conv_bn_input_grad_backward(
         restructured schedule keeps).
     mean, var, gamma, dgamma, dbeta, eps:
         Saved statistics and the per-channel reductions from sub-BN2'.
+    accumulate_dtype:
+        Optional fp32+ accumulator for the sub-BN1' transform (see
+        :func:`bn_input_grad_transform`).
 
     Returns
     -------
     dX of the convolution (gradient flowing further upstream).
     """
+    acc = resolve_accumulate_dtype(accumulate_dtype, storage=d_bn_out.dtype)
     d_bn_in = bn_input_grad_transform(
-        d_bn_out, bn_x, mean, var, gamma, dgamma, dbeta, eps
+        d_bn_out, bn_x, mean, var, gamma, dgamma, dbeta, eps,
+        accumulate_dtype=acc,
     )
     # The convolution's two backward halves consume the transformed gradient
     # exactly as they would the raw one.
+    if acc is not None and acc.itemsize > d_bn_in.dtype.itemsize:
+        d_acc = d_bn_in.astype(acc)
+        conv.backward_weights(d_acc)
+        return conv.backward_data(d_acc).astype(d_bn_out.dtype)
     conv.backward_weights(d_bn_in)
-    return conv.backward_data(d_bn_in)
+    dx = conv.backward_data(d_bn_in)
+    return dx if acc is None else dx.astype(d_bn_out.dtype, copy=False)

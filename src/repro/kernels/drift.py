@@ -1,0 +1,206 @@
+"""Quantify MVF variance drift across storage precisions.
+
+Section 3.2 of the paper claims fp32 accumulation is "good enough for
+calculating E(X^2)" in the one-pass ``Var(X) = E(X^2) - E(X)^2``
+formulation — but never prints the number. This module measures it: for
+every (storage precision, statistics method) pair it sweeps a set of
+*realistic activation distributions* and reports the relative variance
+error against an fp64 two-pass reference computed on **the same stored
+values**. Quantizing the input first and referencing the quantized values
+isolates the drift this experiment is about — formulation + accumulation
+error — from the unavoidable input-quantization noise every precision
+pays identically.
+
+Distributions mirror where BN statistics actually run:
+
+* ``post_conv`` — zero-ish mean, unit-ish scale convolution outputs;
+* ``post_relu`` — rectified Gaussians (half the mass at exactly zero);
+* ``near_constant`` — channels that barely vary: the catastrophic-
+  cancellation corner of E(X^2)-E(X)^2, where the paper's claim is
+  weakest. Its noise scale is set *relative to each storage precision's
+  epsilon* (16 ulp at the offset): an absolute sigma would collapse to a
+  mathematically constant channel on coarse grids (bf16's ulp at 8.0 is
+  0.0625 — any sub-ulp jitter quantizes away, and a constant channel
+  measures nothing), so each precision gets a channel that is equally
+  near-constant *relative to its own resolution*;
+* ``large_mean`` — large common offsets, the classic one-pass failure
+  mode (E(X)^2 dominates E(X^2) and their difference loses digits).
+
+Relative error uses ``max(var_ref, BN_EPSILON)`` as the denominator: a
+variance error smaller than the epsilon every normalization adds anyway
+is invisible downstream, so errors are measured against the quantity BN
+actually divides by.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.config import BN_EPSILON, rng
+from repro.errors import PrecisionError
+from repro.kernels.bf16 import bf16_round
+from repro.kernels.bn_stats import (
+    chunked_onepass_stats,
+    onepass_stats,
+    twopass_stats,
+)
+
+#: Storage precisions the drift sweep understands (reference is fp64).
+DRIFT_PRECISIONS: Tuple[str, ...] = ("fp16", "bf16", "fp32")
+
+#: Statistics methods under test. Each takes (x, accumulate_dtype).
+METHODS: Dict[str, Callable] = {
+    "one-pass": lambda x, acc: onepass_stats(x, accumulate_dtype=acc),
+    "two-pass": lambda x, acc: twopass_stats(x, accumulate_dtype=acc),
+    "chunked": lambda x, acc: chunked_onepass_stats(x, accumulate_dtype=acc),
+}
+
+#: Machine epsilon (half ulp at 1.0) per storage precision.
+PRECISION_EPS: Dict[str, float] = {
+    "fp16": 2.0 ** -11,
+    "bf16": 2.0 ** -8,
+    "fp32": 2.0 ** -24,
+    "fp64": 2.0 ** -53,
+}
+
+#: name -> generator(random Generator, shape, storage eps) -> fp64
+#: activations. Only ``near_constant`` uses the storage epsilon (see the
+#: module docstring); the other suites are storage-independent.
+DISTRIBUTIONS: Dict[str, Callable] = {
+    "post_conv": lambda r, shape, eps: r.normal(0.0, 1.5, shape),
+    "post_relu": lambda r, shape, eps: np.maximum(
+        r.normal(0.0, 1.0, shape), 0.0),
+    "near_constant": lambda r, shape, eps: 8.0 + r.normal(
+        0.0, 32 * 8.0 * eps, shape),
+    "large_mean": lambda r, shape, eps: r.normal(64.0, 1.0, shape),
+}
+
+
+def quantize_storage(x: np.ndarray, precision: str) -> np.ndarray:
+    """Project *x* onto a storage precision's value grid.
+
+    fp16/fp32 use the native numpy dtype; bf16 — which numpy cannot
+    represent — returns fp32 ndarrays rounded onto the bf16 grid by
+    :func:`~repro.kernels.bf16.bf16_round` (the emulation container).
+    """
+    x = np.asarray(x)
+    if precision == "fp64":
+        return x.astype(np.float64)
+    if precision == "fp32":
+        return x.astype(np.float32)
+    if precision == "fp16":
+        return x.astype(np.float16)
+    if precision == "bf16":
+        return bf16_round(x.astype(np.float32))
+    raise PrecisionError(
+        f"unknown storage precision {precision!r}; "
+        f"available: {DRIFT_PRECISIONS + ('fp64',)}"
+    )
+
+
+@dataclass(frozen=True)
+class DriftCell:
+    """Aggregate variance drift of one (precision, method) pair."""
+
+    precision: str
+    method: str
+    max_rel_err: float
+    p99_rel_err: float
+    median_rel_err: float
+    #: Distribution that produced the max error — where the claim is weakest.
+    worst_distribution: str
+    samples: int
+
+
+@dataclass(frozen=True)
+class DriftReport:
+    """The full precision x method drift table (plus per-distribution detail).
+
+    ``detail`` maps ``(precision, method, distribution)`` to the raw
+    per-channel relative-error vector, for tests and plots that need more
+    than the aggregate.
+    """
+
+    shape: Tuple[int, ...]
+    accumulate_dtype: str
+    cells: List[DriftCell]
+    detail: Dict[Tuple[str, str, str], np.ndarray]
+
+    def cell(self, precision: str, method: str) -> DriftCell:
+        for c in self.cells:
+            if (c.precision, c.method) == (precision, method):
+                return c
+        raise KeyError((precision, method))
+
+
+def variance_drift(
+    precisions: Sequence[str] = DRIFT_PRECISIONS,
+    methods: Sequence[str] = tuple(METHODS),
+    shape: Tuple[int, int, int, int] = (32, 16, 28, 28),
+    seed: int | None = None,
+    accumulate_dtype=np.float32,
+) -> DriftReport:
+    """Measure variance drift over the distribution suite.
+
+    Each precision draws from a fresh generator with the same seed, so
+    every storage-independent distribution sees identical fp64 values
+    across precisions (cells are comparable); only ``near_constant``'s
+    noise scale depends on the precision (via :data:`PRECISION_EPS`).
+    Every method runs with *accumulate_dtype* partial sums — fp32 by
+    default, the paper's measured configuration.
+    """
+    for m in methods:
+        if m not in METHODS:
+            raise PrecisionError(
+                f"unknown stats method {m!r}; available: {sorted(METHODS)}"
+            )
+
+    detail: Dict[Tuple[str, str, str], np.ndarray] = {}
+    cells: List[DriftCell] = []
+    for precision in precisions:
+        eps = PRECISION_EPS.get(precision)
+        if eps is None:
+            raise PrecisionError(
+                f"unknown storage precision {precision!r}; "
+                f"available: {sorted(PRECISION_EPS)}"
+            )
+        generator = rng(seed)
+        quantized = {
+            name: quantize_storage(gen(generator, shape, eps), precision)
+            for name, gen in DISTRIBUTIONS.items()
+        }
+        references = {
+            name: twopass_stats(xq.astype(np.float64))[1]
+            for name, xq in quantized.items()
+        }
+        for method in methods:
+            errs: List[np.ndarray] = []
+            names: List[str] = []
+            for name, xq in quantized.items():
+                _, var = METHODS[method](xq, accumulate_dtype)
+                ref = references[name]
+                rel = np.abs(var.astype(np.float64) - ref) \
+                    / np.maximum(ref, BN_EPSILON)
+                detail[(precision, method, name)] = rel
+                errs.append(rel)
+                names.append(name)
+            flat = np.concatenate(errs)
+            worst = int(np.argmax([e.max() for e in errs]))
+            cells.append(DriftCell(
+                precision=precision,
+                method=method,
+                max_rel_err=float(flat.max()),
+                p99_rel_err=float(np.percentile(flat, 99)),
+                median_rel_err=float(np.median(flat)),
+                worst_distribution=names[worst],
+                samples=int(flat.size),
+            ))
+    return DriftReport(
+        shape=tuple(shape),
+        accumulate_dtype=np.dtype(accumulate_dtype).name,
+        cells=cells,
+        detail=detail,
+    )

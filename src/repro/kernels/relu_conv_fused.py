@@ -20,28 +20,44 @@ from typing import Tuple
 
 import numpy as np
 
+from repro.kernels.bn_stats import resolve_accumulate_dtype
 from repro.nn.conv import Conv2d
 
 
-def relu_conv_forward(x: np.ndarray, conv: Conv2d) -> np.ndarray:
+def relu_conv_forward(x: np.ndarray, conv: Conv2d,
+                      accumulate_dtype=None) -> np.ndarray:
     """Forward RCF: rectify inline, convolve, never materialize relu(x).
 
     ``conv`` caches what its own backward needs (the rectified im2col
     buffer), exactly as the fused primitive would keep its input tile
-    on-chip.
+    on-chip. With ``accumulate_dtype`` set (fp32+), sub-fp32 inputs are
+    upcast into the convolution GEMM — the partial sums accumulate wide —
+    and the output is downcast to ``x``'s storage dtype.
     """
-    return conv.forward(np.maximum(x, 0))
+    conv_in = np.maximum(x, 0)
+    acc = resolve_accumulate_dtype(accumulate_dtype, storage=x.dtype)
+    if acc is not None and acc.itemsize > conv_in.dtype.itemsize:
+        return conv.forward(conv_in.astype(acc)).astype(x.dtype)
+    return conv.forward(conv_in)
 
 
 def relu_conv_backward(
-    x: np.ndarray, dy: np.ndarray, conv: Conv2d
+    x: np.ndarray, dy: np.ndarray, conv: Conv2d, accumulate_dtype=None
 ) -> Tuple[np.ndarray, None]:
     """Backward RCF: conv backward + inline mask application.
 
     Returns ``dX`` at the ReLU *input*. ``conv``'s weight gradient is
     accumulated as a side effect (its backward-weights half). The mask comes
-    from ``x`` directly — no saved ReLU output needed.
+    from ``x`` directly — no saved ReLU output needed. With
+    ``accumulate_dtype`` set, the gradient GEMMs run at the accumulator
+    width and ``dX`` is downcast back to ``dy``'s storage dtype.
     """
+    acc = resolve_accumulate_dtype(accumulate_dtype, storage=dy.dtype)
+    if acc is not None and acc.itemsize > dy.dtype.itemsize:
+        dy_acc = dy.astype(acc)
+        conv.backward_weights(dy_acc)
+        d_relu_out = conv.backward_data(dy_acc)
+        return (d_relu_out * (x > 0)).astype(dy.dtype), None
     conv.backward_weights(dy)
     d_relu_out = conv.backward_data(dy)
     dx = d_relu_out * (x > 0)

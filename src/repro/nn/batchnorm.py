@@ -14,6 +14,15 @@ Each stage is a separate method so the restructuring passes in
 :mod:`repro.passes` have a functional ground truth per sub-layer
 (sub-BN1 = stages 1-2, sub-BN2 = stage 3, sub-BN2' = backward stage 1,
 sub-BN1' = backward stage 2).
+
+Precision contract (matching :mod:`repro.kernels.bn_stats`): statistics,
+``inv_std`` and the inference-time scale/shift vectors are held at
+``max(input, fp32)`` — per-channel vectors are cache-resident kilobytes,
+so keeping them wide is free — and only the *final* output of each stage
+is downcast to the input's storage dtype. Sub-fp32 inputs therefore
+normalize through fp32 arithmetic instead of having the affine parameters
+silently truncated to fp16 first; fp32/fp64 inputs are bit-identical to
+the historical behaviour.
 """
 
 from __future__ import annotations
@@ -22,7 +31,7 @@ from typing import Optional, Tuple
 
 import numpy as np
 
-from repro.config import BN_EPSILON
+from repro.config import BN_EPSILON, stat_dtype
 from repro.errors import ExecutionError, ShapeError
 from repro.nn.init import ones, zeros
 from repro.nn.module import Module, Parameter
@@ -60,21 +69,42 @@ class BatchNorm2d(Module):
         self._inv_std: Optional[np.ndarray] = None
 
     # -- staged forward -------------------------------------------------------
+    @staticmethod
+    def _stat_dtype(x: np.ndarray) -> np.dtype:
+        """Dtype the per-channel statistics live at: never below fp32."""
+        return stat_dtype(x.dtype)
+
     def compute_mean(self, x: np.ndarray) -> np.ndarray:
-        """Forward pass 1: sweep X once for the per-channel mean."""
+        """Forward pass 1: sweep X once for the per-channel mean.
+
+        Accumulated (and returned) at ``max(input, fp32)`` — a sub-fp32
+        input never truncates its own statistics.
+        """
         self._check_input(x)
-        return x.mean(axis=(0, 2, 3))
+        return x.mean(axis=(0, 2, 3), dtype=self._stat_dtype(x))
 
     def compute_var(self, x: np.ndarray, mean: np.ndarray) -> np.ndarray:
-        """Forward pass 2: sweep X again for the two-pass (biased) variance."""
+        """Forward pass 2: sweep X again for the two-pass (biased) variance.
+
+        Centering and squaring happen at the statistics dtype (fp32+), so
+        fp16 inputs cannot overflow in the square.
+        """
         self._check_input(x)
-        centered = x - mean[None, :, None, None]
-        return (centered * centered).mean(axis=(0, 2, 3))
+        stat = self._stat_dtype(x)
+        centered = x.astype(stat, copy=False) - mean[None, :, None, None]
+        return (centered * centered).mean(axis=(0, 2, 3), dtype=stat)
 
     def normalize(
         self, x: np.ndarray, mean: np.ndarray, var: np.ndarray
     ) -> np.ndarray:
-        """Forward pass 3: sweep X a third time, write Y."""
+        """Forward pass 3: sweep X a third time, write Y.
+
+        ``inv_std`` and the affine math stay at the statistics dtype; only
+        the returned tensor is downcast to ``x``'s storage dtype.
+        """
+        stat = self._stat_dtype(x)
+        mean = mean.astype(stat, copy=False)
+        var = var.astype(stat, copy=False)
         inv_std = 1.0 / np.sqrt(var + self.eps)
         x_hat = (x - mean[None, :, None, None]) * inv_std[None, :, None, None]
         y = (
@@ -97,10 +127,16 @@ class BatchNorm2d(Module):
 
     def _forward_inference(self, x: np.ndarray) -> np.ndarray:
         self._check_input(x)
+        # scale/shift are per-channel vectors: hold them at fp32+ and
+        # downcast only the final output — truncating them to fp16 first
+        # would inject a relative error of up to 2^-11 into *every*
+        # element before the multiply.
+        stat = self._stat_dtype(x)
         inv_std = 1.0 / np.sqrt(self.running_var + self.eps)
-        scale = (self.gamma.data * inv_std).astype(x.dtype)
-        shift = (self.beta.data - self.running_mean * scale).astype(x.dtype)
-        return x * scale[None, :, None, None] + shift[None, :, None, None]
+        scale = (self.gamma.data * inv_std).astype(stat)
+        shift = (self.beta.data - self.running_mean * scale).astype(stat)
+        y = x * scale[None, :, None, None] + shift[None, :, None, None]
+        return y.astype(x.dtype, copy=False)
 
     def _update_running(self, mean: np.ndarray, var: np.ndarray, x: np.ndarray) -> None:
         n = x.shape[0] * x.shape[2] * x.shape[3]
@@ -111,10 +147,16 @@ class BatchNorm2d(Module):
 
     # -- staged backward ------------------------------------------------------
     def param_grads(self, dy: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
-        """Backward pass 1 (sub-BN2'): reduce dgamma/dbeta from dY and X."""
+        """Backward pass 1 (sub-BN2'): reduce dgamma/dbeta from dY and X.
+
+        Reductions accumulate at the statistics dtype (fp32+): summing
+        tens of thousands of fp16 terms in an fp16 accumulator loses —
+        or overflows — the reduction.
+        """
+        stat = self._stat_dtype(dy)
         x_hat = self._x_hat()
-        dgamma = (dy * x_hat).sum(axis=(0, 2, 3))
-        dbeta = dy.sum(axis=(0, 2, 3))
+        dgamma = (dy * x_hat).sum(axis=(0, 2, 3), dtype=stat)
+        dbeta = dy.sum(axis=(0, 2, 3), dtype=stat)
         return dgamma, dbeta
 
     def input_grad(
@@ -128,9 +170,12 @@ class BatchNorm2d(Module):
         """
         x_hat = self._x_hat()
         m = dy.shape[0] * dy.shape[2] * dy.shape[3]
+        # Lift dY to the statistics dtype before the m-scaling: m * dY at
+        # fp16 overflows at |dY| >= 65504/m. Only dX is downcast back.
+        dy_wide = dy.astype(self._stat_dtype(dy), copy=False)
         g = (self.gamma.data * self._inv_std)[None, :, None, None]
         dx = (g / m) * (
-            m * dy
+            m * dy_wide
             - dbeta[None, :, None, None]
             - x_hat * dgamma[None, :, None, None]
         )

@@ -39,10 +39,13 @@ class FissionPass(Pass):
         graph.remove_node(bn.name)
 
         # Per-channel (mean, var) vector produced by sub-BN1 for sub-BN2;
-        # cache-resident, so it never contributes DRAM sweeps.
+        # cache-resident, so it never contributes DRAM sweeps. Precision
+        # metadata rides along with the dtype so re-typed (e.g. bf16)
+        # graphs keep every spec's element width consistent.
         stats_tensor = TensorSpec(
             f"{bn.name}.stats_out", (2, channels),
             kind=TensorKind.CHANNEL_STAT, dtype=graph.tensor(x).dtype,
+            precision=graph.tensor(x).precision,
         )
         graph.add_tensor(stats_tensor)
 

@@ -14,7 +14,6 @@ from __future__ import annotations
 
 from typing import Tuple
 
-from repro.config import dtype_bytes
 from repro.errors import SimulationError
 from repro.graph.graph import LayerGraph
 from repro.graph.node import Node, OpKind
@@ -57,7 +56,7 @@ def gemm_conversion_ops(node: Node, graph: LayerGraph,
     if node.kind not in (OpKind.CONV, OpKind.FC):
         return 0.0, 0.0
     y = graph.tensor(node.outputs[0])
-    if accumulate_bytes <= dtype_bytes(y.dtype):
+    if accumulate_bytes <= y.element_bytes:
         return 0.0, 0.0
     x = graph.tensor(node.inputs[0])
     return float(y.num_elements), float(x.num_elements)

@@ -135,7 +135,7 @@ def training_footprint(graph: LayerGraph,
             t.num_elements * width
             for t in graph.tensors.values()
             if (t.kind is TensorKind.WEIGHT and not t.name.endswith(".grad")
-                and dtype_bytes(t.dtype) < width)
+                and t.element_bytes < width)
         )
 
     return FootprintReport(

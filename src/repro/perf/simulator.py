@@ -31,7 +31,7 @@ from repro.errors import SimulationError
 from repro.graph.graph import LayerGraph
 from repro.graph.node import Node, OpKind
 from repro.hw.cache import CacheModel
-from repro.hw.spec import PRECISION_BYTES, HardwareSpec
+from repro.hw.spec import HardwareSpec
 from repro.perf.flops import (
     gemm_conversion_ops,
     node_elementwise_ops,
@@ -40,8 +40,11 @@ from repro.perf.flops import (
 from repro.perf.report import IterationCost, NodeCost, PassCost
 from repro.perf.traffic import node_dram_bytes
 
-#: Element width -> precision name (graph-dtype inference).
-_PRECISION_BY_BYTES = {v: k for k, v in PRECISION_BYTES.items()}
+#: Legacy fallback for graphs whose tensors carry no precision metadata
+#: (built directly, never re-typed): element width -> precision name.
+#: 2 bytes reads as fp16 — a bf16 graph always carries metadata, because
+#: numpy has no 2-byte bf16 container to infer from in the first place.
+_LEGACY_PRECISION_BY_BYTES = {2: "fp16", 4: "fp32", 8: "fp64"}
 
 
 def simulate(
@@ -93,12 +96,21 @@ def _infer_batch(graph: LayerGraph) -> int:
 
 
 def _infer_precision(graph: LayerGraph) -> str:
-    """The graph's training precision, from its input-batch element size."""
+    """The graph's training precision, from its input-batch tensor.
+
+    The precision *name* threaded through the tensor metadata by
+    ``retype_graph`` is authoritative — byte width cannot distinguish
+    fp16 from bf16. Only metadata-free graphs (built directly and never
+    re-typed) fall back to the element-size heuristic.
+    """
     for node in graph.nodes:
         if node.kind == OpKind.DATA:
-            itemsize = graph.tensor(node.outputs[0]).dtype.itemsize
+            spec = graph.tensor(node.outputs[0])
+            if spec.precision is not None:
+                return spec.precision
+            itemsize = spec.dtype.itemsize
             try:
-                return _PRECISION_BY_BYTES[itemsize]
+                return _LEGACY_PRECISION_BY_BYTES[itemsize]
             except KeyError:
                 raise SimulationError(
                     f"{graph.name}: no precision table for "

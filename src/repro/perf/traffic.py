@@ -4,7 +4,6 @@ from __future__ import annotations
 
 from typing import Iterable, Tuple
 
-from repro.config import dtype_bytes
 from repro.graph.graph import LayerGraph
 from repro.graph.node import Node
 from repro.graph.sweeps import Direction, Sweep
@@ -30,7 +29,7 @@ def sweep_dram_bytes(sweep: Sweep, graph: LayerGraph, cache: CacheModel,
         factor = cache.hw.write_allocate_factor
         if gemm_accumulate:
             factor *= cache.hw.accumulate_write_scale(
-                dtype_bytes(graph.tensor(sweep.tensor).dtype)
+                graph.tensor(sweep.tensor).element_bytes
             )
         return int(base * factor)
     return base

@@ -49,13 +49,17 @@ def retype_graph(graph: LayerGraph, precision: str) -> LayerGraph:
     Sweep ledgers reference tensors by name, so swapping the specs is all
     the *graph* needs: the traffic model reads the new byte sizes (and
     residency) directly, and the simulator picks the machine's matching
-    capability table from the same dtype (``simulate`` infers precision
-    from the re-typed tensors when not passed explicitly).
+    capability table from the tensors' ``precision`` metadata (``simulate``
+    infers it when not passed explicitly). The precision *name* is stored
+    on every spec rather than inferred from the dtype, because bf16's
+    container dtype is fp32 and fp16/bf16 share a byte width — neither the
+    dtype nor its itemsize can identify the precision.
     """
     dtype = PRECISION_DTYPES[precision]
     g = graph.clone()
     g.tensors = {
-        name: TensorSpec(name=t.name, shape=t.shape, kind=t.kind, dtype=dtype)
+        name: TensorSpec(name=t.name, shape=t.shape, kind=t.kind,
+                         dtype=dtype, precision=precision)
         for name, t in g.tensors.items()
     }
     return g

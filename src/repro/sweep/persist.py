@@ -49,7 +49,10 @@ from repro.perf.report import IterationCost
 #: v2: per-precision roofline costs — fp16/fp64 cells priced by a v1
 #: build used fp32 capability tables, so every v1 entry must degrade to a
 #: cold compute rather than serve a silently-wrong number.
-CACHE_FORMAT_VERSION = 2
+#: v3: ``TensorSpec`` grew the ``precision`` metadata field (bf16 cells,
+#: ``element_bytes``) — v2-era pickled graphs lack the attribute and would
+#: crash the traffic model, so they too must read as misses.
+CACHE_FORMAT_VERSION = 3
 
 #: Entry kind -> subdirectory. Costs, graphs and node-count metadata live
 #: apart so a cache directory can be inspected (and selectively cleared)

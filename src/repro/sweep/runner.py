@@ -62,8 +62,8 @@ def cell_hardware(cell: SweepCell) -> HardwareSpec:
     """Resolve a cell's hardware axes to a concrete :class:`HardwareSpec`.
 
     Fails loudly (``HardwareSpecError``) if the preset has no capability
-    table for the cell's precision — every preset answers for fp16/fp32/
-    fp64 via the fp32 fallback, so this only rejects unknown strings.
+    table for the cell's precision — every preset answers for fp16/bf16/
+    fp32/fp64 via the fp32 fallback, so this only rejects unknown strings.
     """
     hw = get_preset(cell.hardware)
     hw.peak_flops_for(cell.precision)

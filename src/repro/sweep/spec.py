@@ -8,8 +8,8 @@ cell through the simulator, and the store answers slice queries.
 
 Two extra axes extend the paper's grid:
 
-* ``precisions`` — fp16/fp32/fp64 element sizes (the paper trains in
-  fp32; halving the element size halves every sweep's DRAM bytes);
+* ``precisions`` — fp16/bf16/fp32/fp64 element sizes (the paper trains
+  in fp32; halving the element size halves every sweep's DRAM bytes);
 * ``infinite_bw`` — Figure 4's hypothetical machine where BN/ReLU
   sweeps cost no DRAM time;
 * ``bandwidth_scales`` — Figure 8's down-clocked memory channels as a
@@ -36,9 +36,13 @@ from repro.hw.presets import preset_names
 from repro.models.registry import MODEL_BUILDERS
 from repro.passes.scenarios import SCENARIO_ORDER, SCENARIOS
 
-#: Supported precision-axis values -> numpy dtypes.
+#: Supported precision-axis values -> numpy *container* dtypes. For bf16 —
+#: which numpy cannot represent natively — the container is fp32; the true
+#: 2-byte element width travels as :attr:`TensorSpec.precision` metadata,
+#: which is what the traffic/footprint models read (``element_bytes``).
 PRECISION_DTYPES: Dict[str, np.dtype] = {
     "fp16": np.dtype(np.float16),
+    "bf16": np.dtype(np.float32),
     "fp32": np.dtype(np.float32),
     "fp64": np.dtype(np.float64),
 }

@@ -13,12 +13,12 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 
-from repro.config import DEFAULT_DTYPE, dtype_bytes
-from repro.errors import ShapeError
+from repro.config import DEFAULT_DTYPE, PRECISION_BYTES, dtype_bytes
+from repro.errors import PrecisionError, ShapeError
 
 
 class TensorKind(Enum):
@@ -49,12 +49,20 @@ class TensorSpec:
         A :class:`TensorKind`; defaults to ``FEATURE``.
     dtype:
         numpy dtype; defaults to fp32 (the paper's training precision).
+    precision:
+        Optional precision *name* (``fp16``/``bf16``/``fp32``/``fp64``).
+        This, not the numpy dtype, is the authoritative element width when
+        set: bf16 has no numpy dtype (its container is fp32) and fp16/bf16
+        share a byte width, so neither ``dtype`` nor ``dtype.itemsize``
+        can identify the precision on their own. ``None`` (graphs built
+        before re-typing) defers to the dtype's width.
     """
 
     name: str
     shape: Tuple[int, ...]
     kind: TensorKind = TensorKind.FEATURE
     dtype: np.dtype = field(default_factory=lambda: np.dtype(DEFAULT_DTYPE))
+    precision: Optional[str] = None
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -66,6 +74,11 @@ class TensorSpec:
                 f"{self.name}: shape must be positive ints, got {self.shape!r}"
             )
         object.__setattr__(self, "dtype", np.dtype(self.dtype))
+        if self.precision is not None and self.precision not in PRECISION_BYTES:
+            raise PrecisionError(
+                f"{self.name}: unknown precision {self.precision!r}; "
+                f"available: {sorted(PRECISION_BYTES)}"
+            )
 
     # -- size accounting ---------------------------------------------------
     @property
@@ -74,9 +87,19 @@ class TensorSpec:
         return int(math.prod(self.shape))
 
     @property
+    def element_bytes(self) -> int:
+        """Bytes per element: the precision name's width when set, else the
+        dtype's. This is what every traffic/footprint model must use — a
+        bf16 tensor stores 2 bytes per element even though its emulation
+        container dtype is fp32."""
+        if self.precision is not None:
+            return PRECISION_BYTES[self.precision]
+        return dtype_bytes(self.dtype)
+
+    @property
     def size_bytes(self) -> int:
         """Total byte size — the DRAM cost of one full sweep if uncached."""
-        return self.num_elements * dtype_bytes(self.dtype)
+        return self.num_elements * self.element_bytes
 
     # -- NCHW conveniences ---------------------------------------------------
     @property
@@ -106,7 +129,8 @@ class TensorSpec:
 
     def with_name(self, name: str) -> "TensorSpec":
         """Copy of this spec under a different graph name."""
-        return TensorSpec(name=name, shape=self.shape, kind=self.kind, dtype=self.dtype)
+        return TensorSpec(name=name, shape=self.shape, kind=self.kind,
+                          dtype=self.dtype, precision=self.precision)
 
     def grad_spec(self) -> "TensorSpec":
         """Spec of the gradient tensor (same shape/kind, ``.grad`` suffix)."""
@@ -114,4 +138,5 @@ class TensorSpec:
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         dims = "x".join(str(d) for d in self.shape)
-        return f"TensorSpec({self.name}: {dims} {self.dtype.name} [{self.kind.value}])"
+        width = self.precision or self.dtype.name
+        return f"TensorSpec({self.name}: {dims} {width} [{self.kind.value}])"

@@ -100,11 +100,20 @@ class TestPrecisionTables:
 
     def test_unknown_precision_rejected(self):
         with pytest.raises(HardwareSpecError):
-            self.base(peak_flops_by_precision={"bf16": 1e12})
+            self.base(peak_flops_by_precision={"tf32": 1e12})
         with pytest.raises(HardwareSpecError):
             self.base().peak_flops_for("int8")
         with pytest.raises(HardwareSpecError):
             self.base().conv_efficiency(3, "int8")
+
+    def test_bf16_is_a_known_precision(self):
+        """bf16 answers through the fp32 fallback on storage-only machines
+        and through explicit table entries where real pipes exist."""
+        hw = self.base()
+        assert hw.peak_flops_for("bf16") == hw.peak_flops
+        boosted = self.base(peak_flops_by_precision={"bf16": 4e12})
+        assert boosted.peak_flops_for("bf16") == 4e12
+        assert boosted.peak_flops_for("fp16") == hw.peak_flops
 
     def test_contradicting_fp32_entry_rejected(self):
         """One source of truth: an explicit fp32 table entry must agree

@@ -57,6 +57,52 @@ class TestPrecision:
         np.testing.assert_allclose(v, 0.0, atol=1e-7)
 
 
+class TestAccumulateContract:
+    """The explicit accumulate-dtype contract: storage in, fp32+ sums."""
+
+    def test_fp16_stats_returned_at_fp32(self):
+        x = rng(6).normal(size=(4, 3, 6, 6)).astype(np.float16)
+        for kernel in (onepass_stats, twopass_stats, chunked_onepass_stats):
+            m, v = kernel(x)
+            assert m.dtype == np.float32 and v.dtype == np.float32
+
+    def test_fp16_square_overflow_fixed(self):
+        # 300^2 = 9e4 > fp16 max (65504): squaring at fp16 made E(X^2)
+        # infinite. The accumulator-dtype square keeps it finite and right.
+        x = np.full((4, 2, 8, 8), 300.0, dtype=np.float16)
+        x += rng(7).normal(scale=1.0, size=x.shape).astype(np.float16)
+        m64, v64 = twopass_stats(x.astype(np.float64))
+        m32, v32 = onepass_stats_fp32(x)
+        assert np.all(np.isfinite(v32))
+        np.testing.assert_allclose(m32, m64, rtol=1e-3)
+
+    def test_bf16_emulated_inputs_accepted(self):
+        from repro.kernels import bf16_round
+
+        x = bf16_round(rng(8).normal(2.0, 1.0, (4, 3, 6, 6))
+                       .astype(np.float32))
+        m64, v64 = twopass_stats(x.astype(np.float64))
+        m, v = onepass_stats(x, accumulate_dtype=np.float32)
+        np.testing.assert_allclose(m, m64, rtol=1e-5)
+        np.testing.assert_allclose(v, v64, rtol=1e-3)
+
+    def test_explicit_fp64_accumulate_matches_default(self):
+        x = rng(9).normal(size=(3, 2, 5, 5)).astype(np.float32)
+        m1, v1 = onepass_stats(x)
+        m2, v2 = onepass_stats(x, accumulate_dtype=np.float64)
+        np.testing.assert_array_equal(m1, m2)
+        np.testing.assert_array_equal(v1, v2)
+
+    def test_narrow_accumulator_rejected(self):
+        from repro.errors import PrecisionError
+
+        x = np.zeros((2, 2, 2, 2), dtype=np.float16)
+        with pytest.raises(PrecisionError):
+            onepass_stats(x, accumulate_dtype=np.float16)
+        with pytest.raises(PrecisionError):
+            twopass_stats(x, accumulate_dtype=np.int32)
+
+
 class TestValidation:
     def test_non_nchw_raises(self):
         with pytest.raises(ShapeError):

@@ -156,6 +156,130 @@ class TestFusedChain:
             chain.backward(np.zeros((1, 4, 6, 6), dtype=np.float32))
 
 
+class TestAccumulateDtypeContract:
+    """The fused kernels' sub-fp32 contract: storage dtype in, storage
+    dtype out, fp32 math in between — no silent widening to the weight
+    dtype, no silent truncation of the per-channel vectors."""
+
+    def test_fused_chain_fp16_storage_round_trip(self):
+        _, (c1f, bnf, c2f) = make_chain(seed=21)
+        chain = FusedChain(c1f, bnf, c2f, accumulate_dtype=np.float32)
+        x = rng(21).normal(size=(4, 3, 6, 6)).astype(np.float16)
+        y = chain.forward(x)
+        assert y.dtype == np.float16
+        # Stats live at fp32 even though the storage is fp16.
+        assert chain._mean.dtype == np.float32
+        assert chain._var.dtype == np.float32
+        assert chain._bn_x.dtype == np.float16
+        dy = rng(22).normal(size=y.shape).astype(np.float16)
+        dx = chain.backward(dy)
+        assert dx.dtype == np.float16
+        assert np.all(np.isfinite(dx))
+
+    def test_fused_chain_fp16_close_to_fp32_reference(self):
+        """Same weights, fp16 storage + fp32 accumulation vs pure fp32:
+        the quantization noise is bounded, not structural."""
+        _, (c1a, bna, c2a) = make_chain(seed=23)
+        _, (c1b, bnb, c2b) = make_chain(seed=23)
+        ref = FusedChain(c1a, bna, c2a)
+        mixed = FusedChain(c1b, bnb, c2b, accumulate_dtype=np.float32)
+        x = rng(23).normal(size=(4, 3, 6, 6)).astype(np.float32)
+        y_ref = ref.forward(x)
+        y_mixed = mixed.forward(x.astype(np.float16))
+        assert max_abs_diff(y_ref, y_mixed.astype(np.float32)) < 0.05
+
+    def test_relu_conv_fp16_storage_round_trip(self):
+        conv = Conv2d(3, 5, 3, padding=1, seed=24)
+        x = rng(24).normal(size=(4, 3, 8, 8)).astype(np.float16)
+        y = relu_conv_forward(x, conv, accumulate_dtype=np.float32)
+        assert y.dtype == np.float16
+        dy = rng(25).normal(size=y.shape).astype(np.float16)
+        dx, _ = relu_conv_backward(x, dy, conv, accumulate_dtype=np.float32)
+        assert dx.dtype == np.float16
+
+    def test_conv_bn_stats_forward_fp16(self):
+        conv = Conv2d(3, 5, 1, seed=26)
+        x = rng(26).normal(size=(4, 3, 6, 6)).astype(np.float16)
+        y, mean, var = conv_bn_stats_forward(
+            x, conv, accumulate_dtype=np.float32)
+        assert y.dtype == np.float16
+        assert mean.dtype == np.float32 and var.dtype == np.float32
+        assert np.all(var >= 0)
+
+    def test_wide_storage_never_downcast(self):
+        """fp64 storage with an fp32 accumulator must stay fp64 — in
+        values, not just dtype: the effective accumulator promotes to the
+        storage width, so an offset that would destroy an fp32-accumulated
+        variance (E(X^2) ~ 1e10, unit variance) survives."""
+        conv = Conv2d(3, 5, 1, seed=30)
+        x64 = 1e5 + rng(30).normal(size=(4, 3, 6, 6))
+        y, mean, var = conv_bn_stats_forward(
+            x64, conv, accumulate_dtype=np.float32)
+        assert y.dtype == np.float64
+        assert mean.dtype == np.float64 and var.dtype == np.float64
+        from repro.kernels import twopass_stats
+
+        _, ref_var = twopass_stats(conv.forward(x64))
+        # One-pass at fp64 drifts ~1e-6 relative at this offset (the
+        # formulation); fp32 truncation would be off by ~1e2 relative —
+        # the tolerance separates the two regimes by orders of magnitude.
+        np.testing.assert_allclose(var, ref_var, rtol=1e-4)
+
+    def test_bn_input_grad_transform_fp16(self):
+        r = rng(27)
+        c = 5
+        d_bn_out = r.normal(size=(4, c, 6, 6)).astype(np.float16)
+        bn_x = r.normal(size=(4, c, 6, 6)).astype(np.float16)
+        mean = bn_x.astype(np.float32).mean(axis=(0, 2, 3))
+        var = bn_x.astype(np.float32).var(axis=(0, 2, 3))
+        gamma = np.ones(c, dtype=np.float32)
+        dgamma = r.normal(size=c).astype(np.float32)
+        dbeta = r.normal(size=c).astype(np.float32)
+        dx = bn_input_grad_transform(
+            d_bn_out, bn_x, mean, var, gamma, dgamma, dbeta, eps=1e-5,
+            accumulate_dtype=np.float32,
+        )
+        assert dx.dtype == np.float16
+        assert np.all(np.isfinite(dx))
+
+    def test_bn_input_grad_transform_fp16_no_overflow(self):
+        """m * dY is formed at the accumulator width: an fp16 gradient
+        with |dY| >= 65504/m must transform to finite values."""
+        r = rng(31)
+        c = 2
+        d_bn_out = np.full((8, c, 16, 16), 40.0, dtype=np.float16)
+        bn_x = r.normal(size=(8, c, 16, 16)).astype(np.float16)
+        mean = bn_x.astype(np.float32).mean(axis=(0, 2, 3))
+        var = bn_x.astype(np.float32).var(axis=(0, 2, 3))
+        gamma = np.ones(c, dtype=np.float32)
+        dx = bn_input_grad_transform(
+            d_bn_out, bn_x, mean, var, gamma,
+            dgamma=np.zeros(c, dtype=np.float32),
+            dbeta=np.zeros(c, dtype=np.float32),
+            eps=1e-5, accumulate_dtype=np.float32,
+        )
+        assert dx.dtype == np.float16
+        assert np.all(np.isfinite(dx))
+
+    def test_fp32_chain_with_fp32_accumulate_stays_close(self):
+        """For fp32 storage, accumulate_dtype=fp32 changes only the
+        *width of the statistics partial sums* (strict fp32 instead of
+        the default fp64): dtypes are unchanged and values agree to
+        accumulation noise."""
+        _, (c1a, bna, c2a) = make_chain(seed=28)
+        _, (c1b, bnb, c2b) = make_chain(seed=28)
+        plain = FusedChain(c1a, bna, c2a)
+        acc = FusedChain(c1b, bnb, c2b, accumulate_dtype=np.float32)
+        x = rng(28).normal(size=(4, 3, 6, 6)).astype(np.float32)
+        y_plain, y_acc = plain.forward(x), acc.forward(x)
+        assert y_acc.dtype == y_plain.dtype == np.float32
+        np.testing.assert_allclose(y_acc, y_plain, rtol=1e-4, atol=1e-5)
+        dy = rng(29).normal(size=(4, 4, 6, 6)).astype(np.float32)
+        dx_plain, dx_acc = plain.backward(dy), acc.backward(dy)
+        assert dx_acc.dtype == np.float32
+        np.testing.assert_allclose(dx_acc, dx_plain, rtol=1e-3, atol=1e-4)
+
+
 class TestVerifyHelpers:
     def test_max_abs_diff(self):
         a = np.array([1.0, 2.0])

@@ -86,6 +86,19 @@ class TestBackward:
             bn.gamma.grad, (dy * y).sum(axis=(0, 2, 3)), rtol=1e-3, atol=1e-3
         )
 
+    def test_fp16_backward_no_overflow(self):
+        """m * dY must not be formed at fp16: |dY| >= 65504/m overflows
+        long before any realistic gradient magnitude, and dbeta must not
+        accumulate thousands of fp16 terms in an fp16 accumulator."""
+        bn = BatchNorm2d(2)
+        x = rng(30).normal(size=(8, 2, 16, 16)).astype(np.float16)
+        dy = np.full(x.shape, 40.0, dtype=np.float16)  # m*dy = 81920
+        bn(x)
+        dx = bn.backward(dy)
+        assert dx.dtype == np.float16
+        assert np.all(np.isfinite(dx))
+        assert np.all(np.isfinite(bn.beta.grad))
+
     def test_staged_backward_matches(self):
         """param_grads + input_grad == backward."""
         bn1, bn2 = BatchNorm2d(3), BatchNorm2d(3)

@@ -116,6 +116,83 @@ class TestAccumulateHonesty:
                 break
 
 
+class TestBf16PrecisionThreading:
+    """bf16 exists as precision *metadata*: its numpy container is fp32,
+    so byte-width inference can never identify it — the tensor specs (and
+    the simulator reading them) must carry the name explicitly."""
+
+    @pytest.fixture(scope="class")
+    def bf16_graph(self, fp32_graph):
+        return retype_graph(fp32_graph, "bf16")
+
+    def test_retype_sets_metadata_and_element_bytes(self, bf16_graph):
+        for t in bf16_graph.tensors.values():
+            assert t.precision == "bf16"
+            assert t.dtype == np.float32  # emulation container
+            assert t.element_bytes == 2
+            assert t.size_bytes == 2 * t.num_elements
+
+    def test_simulator_infers_bf16_from_metadata(self, bf16_graph):
+        from repro.hw.presets import AMPERE_A100
+
+        assert simulate(bf16_graph, AMPERE_A100) \
+            == simulate(bf16_graph, AMPERE_A100, precision="bf16")
+
+    def test_bf16_traffic_matches_fp16_on_storage_only_machine(
+            self, fp16_graph, bf16_graph):
+        """Same byte width, same tables on Skylake: the roofline cannot
+        tell them apart — only the functional kernels can."""
+        fp16 = simulate(fp16_graph, SKYLAKE_2S)
+        bf16 = simulate(bf16_graph, SKYLAKE_2S)
+        assert bf16.dram_bytes == fp16.dram_bytes
+        assert bf16.total_time_s == fp16.total_time_s
+
+    def test_bf16_sweep_cell_prices(self):
+        spec = SweepSpec(
+            name="bf16", models=("densenet121",),
+            hardware=("ampere_a100",), scenarios=("baseline",),
+            batches=(BATCH,), precisions=("fp32", "bf16"),
+        )
+        store = run_sweep(spec)
+        fp32 = store.cost(precision="fp32")
+        bf16 = store.cost(precision="bf16")
+        assert bf16.total_time_s < fp32.total_time_s
+        assert bf16.dram_bytes < fp32.dram_bytes
+
+    def test_bf16_gemm_pays_downconvert_ops(self, bf16_graph):
+        """2-byte storage with a 4-byte accumulator: the conversion charge
+        keys off element_bytes, not the (fp32) container dtype."""
+        for node in bf16_graph.nodes:
+            if node.kind is OpKind.CONV:
+                fwd, bwd = gemm_conversion_ops(node, bf16_graph, 4)
+                y = bf16_graph.tensor(node.outputs[0])
+                assert fwd == float(y.num_elements)
+                break
+
+    def test_bf16_master_weights_counted(self, bf16_graph):
+        report = training_footprint(bf16_graph,
+                                    master_dtype=np.dtype(np.float32))
+        assert report.master_weight_bytes > 0
+
+    def test_scenario_passes_propagate_precision(self):
+        """Restructuring passes that create tensors (e.g. fission's
+        stats_out) must inherit the graph's precision metadata."""
+        from repro.passes.scenarios import apply_scenario
+
+        base = retype_graph(build_model("tiny_densenet", batch=2), "bf16")
+        restructured, _ = apply_scenario(base, "bnff")
+        for t in restructured.tensors.values():
+            assert t.precision == "bf16", t.name
+            assert t.element_bytes == 2, t.name
+
+    def test_serialize_round_trips_precision(self, bf16_graph):
+        from repro.graph.serialize import graph_from_dict, graph_to_dict
+
+        back = graph_from_dict(graph_to_dict(bf16_graph))
+        t = next(iter(back.tensors.values()))
+        assert t.precision == "bf16" and t.element_bytes == 2
+
+
 class TestMixedPrecisionFootprint:
     def test_master_weights_counted_for_narrow_graphs(
             self, fp32_graph, fp16_graph):

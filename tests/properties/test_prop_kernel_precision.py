@@ -1,0 +1,183 @@
+"""Property tests for the per-precision statistics-kernel contract.
+
+Pins the three guarantees the accumulate-dtype layer makes:
+
+* **bounded drift** — one-pass (MVF) variance with fp32 accumulation on
+  fp16/bf16-quantized inputs stays within an analytically justified bound
+  of the fp64 reference. The bound is stated relative to the *second
+  moment* E(X^2), not the variance: cancellation in E(X^2)-E(X)^2
+  amplifies relative-to-variance error without limit (a near-constant
+  channel has var -> 0 while E(X^2) stays finite), but the absolute error
+  is governed by the accumulation of E(X^2) itself — that is the bound a
+  kernel can actually promise.
+* **bf16 round-trip sanity** — :func:`bf16_round` is idempotent (bf16
+  values are fixed points) and monotone (quantization cannot reorder
+  values), and rounds to within half a bf16 ulp.
+* **the fp16 square-overflow regression** — ``onepass_stats_fp32`` must
+  square via the fp32 accumulator, never at fp16 (|x| > 255 squares past
+  fp16's 65504 max; the old kernel returned inf/nan variance for exactly
+  the inputs it existed to measure).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import PrecisionError
+from repro.kernels.bf16 import BF16_MAX
+from repro.kernels import (
+    bf16_round,
+    chunked_onepass_stats,
+    onepass_stats,
+    onepass_stats_fp32,
+    quantize_storage,
+    twopass_stats,
+)
+
+#: Drift bound for fp32 accumulation, relative to max(E(X^2), eps):
+#: pairwise summation of m <= a few thousand terms keeps the relative
+#: error of each fp32 sum well under 64 eps32; the difference of two such
+#: sums doubles it. 256 eps32 ~ 3.1e-5 leaves slack without losing teeth.
+DRIFT_BOUND = 256 * np.finfo(np.float32).eps
+
+
+def nchw_arrays(max_n=6, max_c=4, max_hw=8, min_value=-60.0, max_value=60.0):
+    """Strategy: NCHW fp32 arrays with bounded values (fp16-safe range)."""
+    elements = st.floats(
+        min_value=min_value, max_value=max_value, allow_nan=False, width=32
+    )
+    shapes = st.tuples(
+        st.integers(2, max_n), st.integers(1, max_c),
+        st.integers(2, max_hw), st.integers(2, max_hw),
+    )
+    return shapes.flatmap(
+        lambda s: st.builds(
+            lambda flat: np.array(flat, dtype=np.float32).reshape(s),
+            st.lists(elements, min_size=int(np.prod(s)),
+                     max_size=int(np.prod(s))),
+        )
+    )
+
+
+class TestOnepassDriftBound:
+    @settings(max_examples=25, deadline=None)
+    @given(x=nchw_arrays())
+    @pytest.mark.parametrize("precision", ["fp16", "bf16"])
+    def test_fp32_accum_variance_within_bound(self, x, precision):
+        """(a) one-pass + fp32 accumulation stays within DRIFT_BOUND of the
+        fp64 reference, relative to the second moment, for sub-fp32
+        storage."""
+        xq = quantize_storage(x, precision)
+        _, ref_var = twopass_stats(xq.astype(np.float64))
+        _, var = onepass_stats(xq, accumulate_dtype=np.float32)
+        second_moment = (xq.astype(np.float64) ** 2).mean(axis=(0, 2, 3))
+        denom = np.maximum(second_moment, np.finfo(np.float64).tiny)
+        rel = np.abs(var.astype(np.float64) - ref_var) / denom
+        assert np.all(rel <= DRIFT_BOUND), (
+            f"{precision} one-pass drift {rel.max():.3e} "
+            f"exceeds {DRIFT_BOUND:.3e}"
+        )
+
+    @settings(max_examples=15, deadline=None)
+    @given(x=nchw_arrays())
+    def test_chunked_matches_onepass_at_fp32_accum(self, x):
+        """The GPU-style partial-reduction tree obeys the same contract."""
+        xq = quantize_storage(x, "fp16")
+        m1, v1 = onepass_stats(xq, accumulate_dtype=np.float32)
+        m2, v2 = chunked_onepass_stats(xq, chunk=3,
+                                       accumulate_dtype=np.float32)
+        np.testing.assert_allclose(m1, m2, rtol=1e-5, atol=1e-6)
+        np.testing.assert_allclose(v1, v2, rtol=1e-3, atol=1e-5)
+
+
+def finite_floats(width=32):
+    return st.floats(allow_nan=False, allow_infinity=False, width=width)
+
+
+class TestBf16RoundTrip:
+    @settings(max_examples=200, deadline=None)
+    @given(v=finite_floats())
+    def test_idempotent(self, v):
+        """(b) bf16 values are fixed points of the rounding."""
+        once = bf16_round(np.array([v], dtype=np.float32))
+        twice = bf16_round(once)
+        assert once.view(np.uint32)[0] == twice.view(np.uint32)[0]
+
+    @settings(max_examples=200, deadline=None)
+    @given(a=finite_floats(), b=finite_floats())
+    def test_monotone(self, a, b):
+        """(b) x <= y implies round(x) <= round(y)."""
+        lo, hi = sorted([np.float32(a), np.float32(b)])
+        r = bf16_round(np.array([lo, hi], dtype=np.float32))
+        assert r[0] <= r[1]
+
+    @settings(max_examples=200, deadline=None)
+    @given(v=st.floats(min_value=-(2.0 ** 127), max_value=2.0 ** 127,
+                       allow_nan=False, width=32))
+    def test_half_ulp(self, v):
+        """Rounding error is at most half a bf16 ulp (2^-8 relative)."""
+        r = float(bf16_round(np.array([v], dtype=np.float32))[0])
+        assert abs(r - v) <= 2.0 ** -8 * abs(v) + np.finfo(np.float32).tiny
+
+    def test_nan_and_inf_preserved(self):
+        x = np.array([np.nan, np.inf, -np.inf, 0.0, -0.0], dtype=np.float32)
+        r = bf16_round(x)
+        assert np.isnan(r[0])
+        assert r[1] == np.inf and r[2] == -np.inf
+        assert r[3] == 0.0 and r[4] == 0.0
+
+    def test_overflowing_finite_rounds_to_inf(self):
+        # 3.4e38 is finite fp32 but past the BF16_MAX half-ulp midpoint
+        # (~3.394e38): the nearest bf16 value is infinity. 3.39e38 sits
+        # *below* the midpoint and must round down to BF16_MAX instead.
+        x = np.array([3.4e38, -3.4e38, 3.39e38], dtype=np.float32)
+        r = bf16_round(x)
+        assert r[0] == np.inf and r[1] == -np.inf
+        assert r[2] == np.float32(BF16_MAX)
+
+
+class TestFp16SquareOverflowRegression:
+    def test_onepass_fp32_squares_in_accumulator(self):
+        """(c) fp16 inputs whose squares exceed fp16 max (65504) must not
+        corrupt E(X^2): the square happens after the fp32 upcast."""
+        x = np.full((4, 3, 8, 8), 300.0, dtype=np.float16)  # 300^2 = 9e4
+        x[0, :, :, :] = np.float16(-300.0)
+        mean, var = onepass_stats_fp32(x)
+        assert np.all(np.isfinite(mean)) and np.all(np.isfinite(var))
+        _, ref_var = twopass_stats(x.astype(np.float64))
+        np.testing.assert_allclose(var.astype(np.float64), ref_var,
+                                   rtol=1e-3, atol=1e-2)
+
+    def test_explicit_fp32_accumulate_matches_strict_variant(self):
+        x = quantize_storage(
+            np.random.default_rng(7).normal(1.0, 2.0, (6, 4, 10, 10)),
+            "fp16",
+        )
+        m1, v1 = onepass_stats_fp32(x)
+        m2, v2 = onepass_stats(x, accumulate_dtype=np.float32)
+        np.testing.assert_array_equal(m1, m2)
+        np.testing.assert_array_equal(v1, v2)
+
+    def test_sub_fp32_accumulator_rejected(self):
+        x = np.zeros((2, 2, 2, 2), dtype=np.float16)
+        for kernel in (onepass_stats, twopass_stats):
+            with pytest.raises(PrecisionError):
+                kernel(x, accumulate_dtype=np.float16)
+        with pytest.raises(PrecisionError):
+            chunked_onepass_stats(x, accumulate_dtype=np.float16)
+
+
+class TestStatDtypeContract:
+    def test_stats_never_narrower_than_fp32(self):
+        x = np.random.default_rng(0).normal(size=(2, 3, 4, 4)) \
+            .astype(np.float16)
+        for kernel in (onepass_stats, twopass_stats, chunked_onepass_stats,
+                       onepass_stats_fp32):
+            mean, var = kernel(x)
+            assert mean.dtype == np.float32 and var.dtype == np.float32
+
+    def test_fp64_stats_stay_fp64(self):
+        x = np.random.default_rng(1).normal(size=(2, 3, 4, 4))
+        for kernel in (onepass_stats, twopass_stats, chunked_onepass_stats):
+            mean, var = kernel(x)
+            assert mean.dtype == np.float64 and var.dtype == np.float64

@@ -11,6 +11,9 @@ Usage::
         --models densenet121 resnet50 --scenarios baseline bnff \\
         --batches 60 120 --workers 4 --group-by model
 
+    # Serve cost queries over JSON/HTTP (coalescing, backpressure):
+    python -m repro.experiments serve --port 8731 --workers 4
+
 Both entry points execute on one :class:`~repro.sweep.SweepSession`: a
 single warm worker pool spans every experiment in the invocation, and —
 unless ``--no-persist`` — priced cells land in an on-disk cache
@@ -154,10 +157,61 @@ def sweep_main(argv: List[str]) -> int:
     return 0
 
 
+def serve_main(argv: List[str]) -> int:
+    """``serve`` subcommand: run the cost-query server until interrupted."""
+    import asyncio
+
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments serve",
+        description="Serve model x hardware x scenario x batch x precision "
+                    "cost queries over JSON/HTTP, with request coalescing "
+                    "and cold-miss backpressure (see docs/serving.md).",
+    )
+    parser.add_argument("--host", default="127.0.0.1",
+                        help="bind address (default: 127.0.0.1)")
+    parser.add_argument("--port", type=int, default=8731,
+                        help="listen port (default: 8731; 0 = ephemeral)")
+    parser.add_argument("--max-pending", type=int, default=256, metavar="N",
+                        help="cold cells in flight before requests are shed "
+                             "with 429 + Retry-After (default: 256)")
+    parser.add_argument("--pricing-threads", type=int, default=1, metavar="N",
+                        help="executor threads pricing cold cells "
+                             "(default: 1; coalescing and the cache, not "
+                             "thread parallelism, carry the load)")
+    _add_session_args(parser)
+    args = parser.parse_args(argv)
+
+    from repro.serve import CostService, HttpServer
+
+    async def _run() -> None:
+        server = HttpServer(service, args.host, args.port)
+        host, port = await server.start()
+        where = session.cache_dir or "memory only"
+        print(f"serving cost queries on http://{host}:{port} "
+              f"(cache: {where})", flush=True)
+        print("routes: POST /price  GET /stats  GET /healthz  "
+              "— Ctrl-C to stop", flush=True)
+        try:
+            await server.serve_forever()
+        finally:
+            await server.close()
+
+    with _make_session(args) as session, \
+            CostService(session, max_pending=args.max_pending,
+                        pricing_threads=args.pricing_threads) as service:
+        try:
+            asyncio.run(_run())
+        except KeyboardInterrupt:
+            print("\nshutting down", flush=True)
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     if argv and argv[0] == "sweep":
         return sweep_main(argv[1:])
+    if argv and argv[0] == "serve":
+        return serve_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro-experiments",
         description="Regenerate tables/figures from 'Restructuring Batch "

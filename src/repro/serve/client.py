@@ -1,0 +1,132 @@
+"""Clients for the cost-query service.
+
+Two ways in:
+
+* **in-process** — hold the :class:`~repro.serve.service.CostService`
+  and ``await service.price_cells(...)`` directly (the service *is* the
+  in-process API; benchmarks and embedding applications use it as such);
+* **HTTP** — :class:`ServingClient` below, a small synchronous
+  JSON-over-HTTP client on stdlib ``http.client``, for scripts, tests
+  and load generators talking to a ``repro-experiments serve`` process.
+
+A shed response (``429``) surfaces as :class:`RetryLater` carrying the
+server's ``retry_after_s``; ``price_cells(retries=N)`` optionally sleeps
+and retries that many times before giving up — the client half of the
+shed-with-retry-after contract.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Union
+
+from repro.errors import SweepSpecError
+from repro.sweep.spec import SweepCell
+from repro.serve.wire import cell_to_json
+
+
+class ServingError(RuntimeError):
+    """Non-retryable server response (4xx/5xx other than shed)."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+
+
+class RetryLater(ServingError):
+    """The server shed the request; retry after ``retry_after_s``."""
+
+    def __init__(self, retry_after_s: float, message: str):
+        RuntimeError.__init__(
+            self, f"server overloaded, retry in {retry_after_s:.2f}s: "
+            f"{message}"
+        )
+        self.status = 429
+        self.retry_after_s = retry_after_s
+
+
+class ServingClient:
+    """Synchronous JSON-over-HTTP client for one serving endpoint."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8731,
+                 timeout_s: float = 60.0):
+        self.host = host
+        self.port = port
+        self.timeout_s = timeout_s
+
+    # -- transport -----------------------------------------------------------
+    def _request(self, method: str, path: str,
+                 payload: Optional[Mapping[str, Any]] = None
+                 ) -> Dict[str, Any]:
+        conn = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout_s
+        )
+        try:
+            body = None
+            headers = {}
+            if payload is not None:
+                body = json.dumps(payload).encode("utf-8")
+                headers["Content-Type"] = "application/json"
+            conn.request(method, path, body=body, headers=headers)
+            response = conn.getresponse()
+            raw = response.read()
+        finally:
+            conn.close()
+        try:
+            data = json.loads(raw.decode("utf-8"))
+        except (json.JSONDecodeError, UnicodeDecodeError):
+            data = {"error": raw[:200].decode("utf-8", "replace")}
+        if response.status == 429:
+            raise RetryLater(float(data.get("retry_after_s", 1.0)),
+                             data.get("error", ""))
+        if response.status >= 400:
+            raise ServingError(response.status,
+                               data.get("error", "unknown error"))
+        return data
+
+    # -- endpoints -----------------------------------------------------------
+    def healthy(self) -> bool:
+        try:
+            return bool(self._request("GET", "/healthz").get("ok"))
+        except (OSError, ServingError):
+            return False
+
+    def stats(self) -> Dict[str, Any]:
+        return self._request("GET", "/stats")
+
+    def price_cells(
+        self,
+        cells: Sequence[Union[SweepCell, Mapping[str, Any]]],
+        retries: int = 0,
+    ) -> List[Dict[str, Any]]:
+        """Price explicit cells; result rows in request order.
+
+        ``retries`` > 0 turns a shed into up to that many sleep-and-retry
+        rounds (sleeping the server's own ``retry_after_s``) before the
+        final :class:`RetryLater` propagates.
+        """
+        payload = {"cells": [
+            cell_to_json(c) if isinstance(c, SweepCell) else dict(c)
+            for c in cells
+        ]}
+        return self._price(payload, retries)
+
+    def price_grid(self, retries: int = 0, **axes) -> List[Dict[str, Any]]:
+        """Price a whole grid, e.g. ``price_grid(models=["resnet50"])``."""
+        if "models" not in axes:
+            raise SweepSpecError("price_grid needs at least models=[...]")
+        return self._price({"grid": axes}, retries)
+
+    def _price(self, payload: Mapping[str, Any],
+               retries: int) -> List[Dict[str, Any]]:
+        attempt = 0
+        while True:
+            try:
+                return self._request("POST", "/price", payload)["results"]
+            except RetryLater as shed:
+                if attempt >= retries:
+                    raise
+                attempt += 1
+                time.sleep(shed.retry_after_s)

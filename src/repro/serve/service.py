@@ -1,0 +1,256 @@
+"""The concurrent cost-query service: coalescing, backpressure, stats.
+
+:class:`CostService` wraps one :class:`~repro.sweep.SweepSession` and
+answers "price this cell" queries from many concurrent asyncio clients:
+
+* **Warm hits are synchronous.** A cell already in the session's memory
+  tier resolves on the event loop without touching the executor — the
+  warm path is a dict probe, so sustained warm QPS is bounded by the
+  event loop, not by pricing.
+* **In-flight cells coalesce.** Every cold cell gets exactly one
+  per-key future for as long as its pricing is in flight; requests
+  arriving meanwhile — including overlapping grids from other clients —
+  await that future instead of re-pricing. M identical in-flight
+  queries trigger exactly one compute (pinned by
+  ``tests/serve/test_service.py``).
+* **Cold misses are backpressured.** At most ``max_pending`` cells may
+  be in flight; a request whose *new* cold cells would exceed the cap
+  is shed atomically (none of its cells enqueue) with
+  :class:`ServiceOverloaded`, carrying a ``retry_after_s`` estimated
+  from the observed per-cell pricing time and the queue depth — the
+  HTTP layer maps it to ``429`` + ``Retry-After``. Warm and coalesced
+  requests are never shed.
+* **Cold cells price heaviest-first** on a small thread-pool executor,
+  ordered by the session's scheduling estimate
+  (:meth:`~repro.sweep.SweepSession.estimator_for` — observed node
+  counts when the cache has seen the graph), so one request's tail
+  latency is the LPT packing of its own cells.
+
+The service is confined to the event loop that first uses it: all
+coalescing/backpressure state is mutated on the loop thread only, so no
+locks are needed above the (thread-safe) cache. Pricing runs on
+``pricing_threads`` executor threads — the default of 1 serializes
+pricing (graph builds are CPU-bound Python; parallelism across requests
+comes from coalescing and the cache, not from concurrent builds), and
+the underlying :class:`~repro.sweep.GraphCache`/
+:class:`~repro.sweep.PersistentCache` are safe if raised.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Awaitable, Callable, Dict, List, Optional, Sequence, Union
+
+from repro.perf.report import IterationCost
+from repro.sweep.runner import SweepSession, enumerate_cells, price_cell
+from repro.sweep.schedule import order_by_weight
+from repro.sweep.spec import SweepCell, SweepSpec
+from repro.sweep.store import SweepResult
+
+
+class ServiceOverloaded(RuntimeError):
+    """Shed signal: the cold-miss queue is full; retry after a delay."""
+
+    def __init__(self, retry_after_s: float, pending: int, capacity: int):
+        super().__init__(
+            f"cold-miss queue full ({pending} in flight, capacity "
+            f"{capacity}); retry in {retry_after_s:.2f}s"
+        )
+        self.retry_after_s = retry_after_s
+        self.pending = pending
+        self.capacity = capacity
+
+
+@dataclass
+class ServiceStats:
+    """Request-level counters (the cache keeps the tier-level ones).
+
+    ``warm_hits`` are cells served synchronously from the memory tier;
+    ``coalesced`` are cells that awaited another request's in-flight
+    future; ``priced`` are executor dispatches (splitting disk hits
+    from true cold computes is the cache stats' job); ``shed`` counts
+    whole requests rejected by backpressure.
+    """
+
+    requests: int = 0
+    cells: int = 0
+    warm_hits: int = 0
+    coalesced: int = 0
+    priced: int = 0
+    shed: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return dict(self.__dict__)
+
+
+class CostService:
+    """Concurrent cost queries over one sweep session (see module doc)."""
+
+    def __init__(
+        self,
+        session: SweepSession,
+        max_pending: int = 256,
+        pricing_threads: int = 1,
+        min_retry_after_s: float = 0.05,
+        pricer: Optional[Callable[[SweepCell], IterationCost]] = None,
+    ):
+        if max_pending <= 0:
+            raise ValueError(f"max_pending must be positive, got {max_pending}")
+        if pricing_threads <= 0:
+            raise ValueError(
+                f"pricing_threads must be positive, got {pricing_threads}"
+            )
+        self.session = session
+        self.max_pending = max_pending
+        self.pricing_threads = pricing_threads
+        self.min_retry_after_s = min_retry_after_s
+        self.stats = ServiceStats()
+        self._pricer = pricer or (
+            lambda cell: price_cell(cell, session.cache)
+        )
+        self._executor = ThreadPoolExecutor(
+            max_workers=pricing_threads, thread_name_prefix="price"
+        )
+        self._inflight: Dict[str, asyncio.Future] = {}
+        self._pending = 0
+        self._avg_price_s: Optional[float] = None
+
+    # -- introspection -------------------------------------------------------
+    @property
+    def pending(self) -> int:
+        """Cells currently in flight (enqueued or pricing)."""
+        return self._pending
+
+    def retry_after_s(self) -> float:
+        """Current shed-retry estimate: queue depth x observed price time."""
+        per_cell = self._avg_price_s or self.min_retry_after_s
+        estimate = per_cell * (self._pending + 1) / self.pricing_threads
+        return max(self.min_retry_after_s, estimate)
+
+    def stats_snapshot(self) -> Dict[str, object]:
+        """Service + cache + disk-tier counters, JSON-shaped (``/stats``)."""
+        snap: Dict[str, object] = {
+            "service": {**self.stats.as_dict(), "pending": self._pending,
+                        "max_pending": self.max_pending},
+            "cache": self.session.stats.as_dict(),
+        }
+        persist = self.session.cache.persist
+        if persist is not None:
+            snap["persist"] = {**persist.stats.as_dict(),
+                               "cache_dir": persist.root}
+        return snap
+
+    # -- the query API -------------------------------------------------------
+    async def price_cell(self, cell: SweepCell) -> IterationCost:
+        """Price one cell (coalesced/backpressured like any request)."""
+        [cost] = await self.price_cells([cell])
+        return cost
+
+    async def price_cells(
+        self, cells: Sequence[SweepCell]
+    ) -> List[IterationCost]:
+        """Price *cells*, returning costs in request order.
+
+        Duplicates (by content key) within the request are free. Raises
+        :class:`ServiceOverloaded` — before enqueueing anything — if the
+        request's new cold cells would overflow the pending cap.
+        """
+        self.stats.requests += 1
+        self.stats.cells += len(cells)
+        cache = self.session.cache
+
+        results: Dict[str, IterationCost] = {}
+        waits: Dict[str, Awaitable[IterationCost]] = {}
+        cold: List[SweepCell] = []
+        seen = set()
+        for cell in cells:
+            key = cell.key()
+            if key in seen:
+                continue
+            seen.add(key)
+            cost = cache.cached_cost(key)
+            if cost is not None:
+                self.stats.warm_hits += 1
+                results[key] = cost
+            elif key in self._inflight:
+                self.stats.coalesced += 1
+                waits[key] = self._inflight[key]
+            else:
+                cold.append(cell)
+
+        if cold:
+            if self._pending + len(cold) > self.max_pending:
+                self.stats.shed += 1
+                raise ServiceOverloaded(
+                    self.retry_after_s(), self._pending, self.max_pending
+                )
+            loop = asyncio.get_running_loop()
+            for cell in order_by_weight(
+                cold, self.session.estimator_for(cold)
+            ):
+                key = cell.key()
+                fut: asyncio.Future = loop.create_future()
+                self._inflight[key] = fut
+                self._pending += 1
+                self.stats.priced += 1
+                loop.create_task(self._price_in_executor(key, cell, fut))
+                waits[key] = fut
+
+        if waits:
+            for key, awaited in zip(
+                waits, await asyncio.gather(*waits.values())
+            ):
+                results[key] = awaited
+        return [results[cell.key()] for cell in cells]
+
+    async def price_spec(
+        self, spec: Union[SweepSpec, Sequence[SweepSpec]]
+    ) -> SweepResult:
+        """Price a whole grid; the queryable store, like ``run_sweep``."""
+        cells = enumerate_cells(spec)
+        costs = await self.price_cells(cells)
+        return SweepResult.from_cells(
+            cells, {c.key(): cost for c, cost in zip(cells, costs)}
+        )
+
+    # -- internals -----------------------------------------------------------
+    async def _price_in_executor(
+        self, key: str, cell: SweepCell, fut: asyncio.Future
+    ) -> None:
+        loop = asyncio.get_running_loop()
+        t0 = time.perf_counter()
+        try:
+            cost = await loop.run_in_executor(
+                self._executor, self._pricer, cell
+            )
+        except Exception as exc:
+            if not fut.done():
+                fut.set_exception(exc)
+        else:
+            self._observe(time.perf_counter() - t0)
+            if not fut.done():
+                fut.set_result(cost)
+        finally:
+            self._pending -= 1
+            self._inflight.pop(key, None)
+
+    def _observe(self, elapsed_s: float) -> None:
+        """EWMA of per-cell pricing time, feeding the retry estimate."""
+        if self._avg_price_s is None:
+            self._avg_price_s = elapsed_s
+        else:
+            self._avg_price_s = 0.8 * self._avg_price_s + 0.2 * elapsed_s
+
+    def close(self) -> None:
+        """Stop the pricing executor (the session stays open — callers
+        own its lifecycle, since sessions are shareable across services)."""
+        self._executor.shutdown(wait=True)
+
+    def __enter__(self) -> "CostService":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

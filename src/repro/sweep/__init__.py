@@ -9,7 +9,13 @@ warm-pool, disk-backed reuse across calls — and query the returned
 """
 
 from repro.sweep.cache import CacheStats, GraphCache, retype_graph
-from repro.sweep.persist import CACHE_FORMAT_VERSION, PersistentCache, PersistStats
+from repro.sweep.persist import (
+    CACHE_FORMAT_VERSION,
+    NUM_SHARDS,
+    PersistStats,
+    PersistentCache,
+    shard_for,
+)
 from repro.sweep.runner import (
     INFINITE_BW_KINDS,
     SweepSession,
@@ -26,6 +32,7 @@ from repro.sweep.schedule import (
     WorkerBundle,
     default_cost_estimate,
     observed_cost_estimate,
+    order_by_weight,
     plan_schedule,
 )
 from repro.sweep.spec import (
@@ -47,6 +54,7 @@ __all__ = [
     "GraphCache",
     "INFINITE_BW_KINDS",
     "METRICS",
+    "NUM_SHARDS",
     "PRECISION_DTYPES",
     "PersistStats",
     "PersistentCache",
@@ -64,10 +72,12 @@ __all__ = [
     "enumerate_cells",
     "graph_key",
     "observed_cost_estimate",
+    "order_by_weight",
     "plan_schedule",
     "price_cell",
     "retype_graph",
     "run_sweep",
     "scenario_key",
+    "shard_for",
     "use_session",
 ]

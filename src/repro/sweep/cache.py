@@ -31,6 +31,7 @@ clones before mutating, and the simulator never writes to the graph.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field, fields
 from typing import Callable, Dict, Mapping, Optional, Union
 
@@ -116,6 +117,14 @@ class GraphCache:
 
     With a ``persist`` backend attached, each stage checks memory, then
     disk, then computes (writing the result through to both tiers).
+
+    **Thread safety:** bookkeeping (stat counters, memo-table inserts)
+    is guarded by an internal lock, so concurrent readers and a pricing
+    thread (the serving layer's executor) never tear the counters or
+    observe a half-inserted entry. Computes themselves run *outside*
+    the lock: two threads missing the same key may both compute, but
+    the results are content-identical, so the race costs time, never
+    correctness.
     """
 
     persist: Optional[PersistentCache] = None
@@ -124,53 +133,64 @@ class GraphCache:
     _costs: Dict[str, IterationCost] = field(default_factory=dict)
     _node_counts: Dict[str, int] = field(default_factory=dict)
     stats: CacheStats = field(default_factory=CacheStats)
+    _lock: threading.RLock = field(default_factory=threading.RLock,
+                                   init=False, repr=False, compare=False)
 
     # -- stage 1: built model graphs -----------------------------------------
     def base_graph(self, model: str, batch: int,
                    precision: str = "fp32") -> LayerGraph:
         key = graph_key(model, batch, precision)
-        if key in self._graphs:
-            self.stats.graph_hits += 1
-            return self._graphs[key]
+        with self._lock:
+            if key in self._graphs:
+                self.stats.graph_hits += 1
+                return self._graphs[key]
         graph = self.persist.load_graph(key) if self.persist else None
         if graph is not None:
-            self.stats.graph_disk_hits += 1
+            with self._lock:
+                self.stats.graph_disk_hits += 1
         else:
-            self.stats.graph_misses += 1
             graph = build_model(model, batch=batch)
             if precision != "fp32":
                 graph = retype_graph(graph, precision)
+            with self._lock:
+                self.stats.graph_misses += 1
             if self.persist:
                 self.persist.store_graph(key, graph)
-        self._graphs[key] = graph
+        with self._lock:
+            self._graphs[key] = graph
         return graph
 
     # -- stage 2: restructured graphs ----------------------------------------
     def scenario_graph(self, model: str, batch: int, scenario: str,
                        precision: str = "fp32") -> LayerGraph:
         key = scenario_key(model, batch, scenario, precision)
-        if key in self._scenario_graphs:
-            self.stats.scenario_hits += 1
-            return self._scenario_graphs[key]
+        with self._lock:
+            if key in self._scenario_graphs:
+                self.stats.scenario_hits += 1
+                return self._scenario_graphs[key]
         graph = self.persist.load_graph(key) if self.persist else None
         if graph is not None:
-            self.stats.scenario_disk_hits += 1
+            with self._lock:
+                self.stats.scenario_disk_hits += 1
         else:
-            self.stats.scenario_misses += 1
             base = self.base_graph(model, batch, precision)
             graph, _ = apply_scenario(base, scenario)
+            with self._lock:
+                self.stats.scenario_misses += 1
             if self.persist:
                 self.persist.store_graph(key, graph)
-        self._scenario_graphs[key] = graph
+        with self._lock:
+            self._scenario_graphs[key] = graph
         self._record_node_count(key, len(graph.nodes))
         return graph
 
     # -- observed node counts (scheduler feedback) -----------------------------
     def _record_node_count(self, scenario_key: str, count: int) -> None:
         """Persist the graph's node count for future scheduling estimates."""
-        if scenario_key in self._node_counts:
-            return
-        self._node_counts[scenario_key] = count
+        with self._lock:
+            if scenario_key in self._node_counts:
+                return
+            self._node_counts[scenario_key] = count
         if self.persist:
             self.persist.store_node_count(scenario_key, count)
 
@@ -194,16 +214,18 @@ class GraphCache:
         callers (the session runner, pool workers) that just established
         the key is not on disk and would only pay a wasted ``open``.
         """
-        if key in self._costs:
-            self.stats.cost_hits += 1
-            return self._costs[key]
+        with self._lock:
+            if key in self._costs:
+                self.stats.cost_hits += 1
+                return self._costs[key]
         cost = self.load_persisted_cost(key) if probe_disk else None
         if cost is None:
-            self.stats.cost_misses += 1
             cost = compute()
+            with self._lock:
+                self.stats.cost_misses += 1
+                self._costs[key] = cost
             if self.persist:
                 self.persist.store_cost(key, cost)
-            self._costs[key] = cost
         return cost
 
     def cached_cost(self, key: str) -> IterationCost | None:
@@ -216,19 +238,22 @@ class GraphCache:
             return None
         cost = self.persist.load_cost(key)
         if cost is not None:
-            self.stats.cost_disk_hits += 1
-            self._costs[key] = cost
+            with self._lock:
+                self.stats.cost_disk_hits += 1
+                self._costs[key] = cost
         return cost
 
     def store_cost(self, key: str, cost: IterationCost) -> None:
-        self._costs[key] = cost
+        with self._lock:
+            self._costs[key] = cost
         if self.persist:
             self.persist.store_cost(key, cost)
 
     def clear(self) -> None:
         """Drop the in-memory tier (the disk tier, if any, is untouched)."""
-        self._graphs.clear()
-        self._scenario_graphs.clear()
-        self._costs.clear()
-        self._node_counts.clear()
-        self.stats = CacheStats()
+        with self._lock:
+            self._graphs.clear()
+            self._scenario_graphs.clear()
+            self._costs.clear()
+            self._node_counts.clear()
+            self.stats = CacheStats()

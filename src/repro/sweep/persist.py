@@ -17,32 +17,54 @@ Design constraints, in order:
    version-mismatched file is treated as a miss (and quarantined out of
    the way), degrading to a cold compute — a half-written cache can slow
    a run down but can never crash it or skew its numbers.
-3. **Safe under concurrency.** Writes go to a temp file in the target
-   directory and are published with :func:`os.replace`, so readers (and
-   competing writers of the same content-keyed entry) never observe a
-   partial file.
+3. **Safe under concurrency — many readers, many writers, many
+   processes.** The directory is **sharded by key prefix**
+   (``costs/<shard>/<key>.pkl``, 16 shards per kind) and every
+   publication or eviction runs under that shard's **striped lock**: a
+   per-process ``threading`` lock plus — where the platform has it — an
+   ``fcntl.flock`` on ``locks/<shard>.lock``, so threads *and* separate
+   processes sharing one cache directory serialize per shard, never
+   globally. Writes still go to a temp file and publish with
+   :func:`os.replace` (readers never observe a partial file, and reads
+   need no lock at all), and GC re-checks an entry's mtime under the
+   shard lock immediately before unlinking so a concurrently-touched
+   (hot) entry is never evicted on a stale scan. A store that finds its
+   entry already published re-touches the file's mtime — exactly like a
+   load — so an entry hot across many writer processes cannot look
+   LRU-stale to a concurrent GC.
 4. **Bounded.** Content-keyed files accumulate across grids forever
    unless told otherwise: with ``max_bytes`` / ``max_entries`` set,
    :meth:`PersistentCache.gc` evicts least-recently-*used* entries (every
-   load touches its file's mtime) until the caps hold, and quarantined
-   ``*.rejected`` files (plus orphaned ``*.tmp``) older than the
-   retention window are deleted rather than kept forever. GC runs
-   opportunistically every few stores and on session close; with no caps
-   configured only the quarantine sweep runs.
+   load — and every skipped re-store — touches its file's mtime) until
+   the caps hold, and quarantined ``*.rejected`` files (plus orphaned
+   ``*.tmp``) older than the retention window are deleted rather than
+   kept forever. GC runs opportunistically every ``gc_interval`` stores
+   and on session close — including inside long-lived pool workers, so a
+   server that never closes its session still keeps the directory under
+   its caps. With no caps configured only the quarantine sweep runs.
 """
 
 from __future__ import annotations
 
+import contextlib
 import hashlib
 import os
 import pickle
+import string
 import tempfile
+import threading
 import time
+import zlib
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.graph.graph import LayerGraph
 from repro.perf.report import IterationCost
+
+try:  # pragma: no cover - always present on the POSIX CI/dev platforms
+    import fcntl
+except ImportError:  # pragma: no cover - Windows: in-process locks only
+    fcntl = None  # type: ignore[assignment]
 
 #: Bumped on any incompatible change to the entry layout or to the
 #: pickled payload types; old files then read as misses, not errors.
@@ -52,6 +74,9 @@ from repro.perf.report import IterationCost
 #: v3: ``TensorSpec`` grew the ``precision`` metadata field (bf16 cells,
 #: ``element_bytes``) — v2-era pickled graphs lack the attribute and would
 #: crash the traffic model, so they too must read as misses.
+#: (The v3→sharded directory layout change needs no bump: pre-shard flat
+#: files simply stop being found — a cold re-price, never a wrong read —
+#: and GC still scans them recursively, so they age out under the caps.)
 CACHE_FORMAT_VERSION = 3
 
 #: Entry kind -> subdirectory. Costs, graphs and node-count metadata live
@@ -59,8 +84,44 @@ CACHE_FORMAT_VERSION = 3
 #: with plain ls/rm.
 _KIND_DIRS = {"cost": "costs", "graph": "graphs", "nodes": "nodes"}
 
-#: Stores between opportunistic :meth:`PersistentCache.gc` passes.
+#: Shards per kind directory; one hex character of key prefix.
+NUM_SHARDS = 16
+
+#: Subdirectory holding the cross-process ``flock`` files, one per shard.
+_LOCK_DIR = "locks"
+
+#: Default number of stores between opportunistic
+#: :meth:`PersistentCache.gc` passes (see ``gc_interval``).
 _GC_STORE_INTERVAL = 64
+
+#: In-process stripe locks, shared by every :class:`PersistentCache`
+#: instance over the same directory (a server session, its pool workers
+#: pre-fork, and any directly-constructed cache must contend on the same
+#: locks, not per-instance ones).
+_STRIPE_REGISTRY: Dict[str, List[threading.RLock]] = {}
+_REGISTRY_LOCK = threading.Lock()
+
+
+def shard_for(key: str) -> str:
+    """The shard (one hex character) a key's entry lives under.
+
+    Content keys are hex digests, so the first character is a uniform
+    prefix shard; anything else (tests, ad-hoc keys) hashes into the
+    same 16 buckets.
+    """
+    c = key[:1].lower()
+    if c and c in string.hexdigits:
+        return c
+    return format(zlib.crc32(key.encode("utf-8")) & (NUM_SHARDS - 1), "x")
+
+
+def _stripes_for(root: str) -> List[threading.RLock]:
+    with _REGISTRY_LOCK:
+        locks = _STRIPE_REGISTRY.get(root)
+        if locks is None:
+            locks = [threading.RLock() for _ in range(NUM_SHARDS)]
+            _STRIPE_REGISTRY[root] = locks
+        return locks
 
 
 @dataclass
@@ -84,22 +145,33 @@ class PersistStats:
 class PersistentCache:
     """Content-keyed pickle store under one cache directory.
 
-    Every entry is a single file ``<kind-dir>/<key>.pkl`` holding a
-    pickled envelope ``{format, kind, key, sha256, payload}`` where
-    ``payload`` is the pickled object and ``sha256`` its checksum. Loads
-    validate the whole envelope and return ``None`` on any mismatch.
+    Every entry is a single file ``<kind-dir>/<shard>/<key>.pkl`` —
+    sharded by key prefix so concurrent writers and GC contend on
+    per-shard striped locks, never one global lock — holding a pickled
+    envelope ``{format, kind, key, sha256, payload}`` where ``payload``
+    is the pickled object and ``sha256`` its checksum. Loads validate
+    the whole envelope and return ``None`` on any mismatch.
 
     ``max_bytes`` / ``max_entries`` cap the store (``None`` = unbounded);
     :meth:`gc` enforces them LRU-by-mtime, where "recently used" means
-    recently *loaded* — hits touch their file — so hot entries survive.
+    recently *loaded or re-stored* — both touch the file — so hot
+    entries survive even when many processes share the directory.
+    Multiple :class:`PersistentCache` instances (and multiple processes)
+    over one directory are safe: publication is atomic, eviction
+    re-validates under the shard lock, and a concurrent removal is
+    treated as the file already being gone.
     """
 
     root: str
     max_bytes: Optional[int] = None
     max_entries: Optional[int] = None
     rejected_retention_s: float = 24 * 3600.0
+    gc_interval: int = _GC_STORE_INTERVAL
     stats: PersistStats = field(default_factory=PersistStats)
     _stores_since_gc: int = field(default=0, init=False, repr=False)
+    _stats_lock: threading.Lock = field(
+        default_factory=threading.Lock, init=False, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         self.root = os.path.abspath(os.path.expanduser(str(self.root)))
@@ -109,21 +181,59 @@ class PersistentCache:
             raise ValueError(
                 f"max_entries must be positive, got {self.max_entries}"
             )
+        if self.gc_interval <= 0:
+            raise ValueError(
+                f"gc_interval must be positive, got {self.gc_interval}"
+            )
+        self._stripes = _stripes_for(self.root)
 
     # -- paths ---------------------------------------------------------------
     def path_for(self, kind: str, key: str) -> str:
-        return os.path.join(self.root, _KIND_DIRS[kind], f"{key}.pkl")
+        return os.path.join(self.root, _KIND_DIRS[kind], shard_for(key),
+                            f"{key}.pkl")
+
+    # -- striped locking -----------------------------------------------------
+    @contextlib.contextmanager
+    def _shard_lock(self, shard: str) -> Iterator[None]:
+        """Exclusive per-shard critical section: threads via the striped
+        ``RLock``, sibling processes via ``flock`` on the shard's lock
+        file. Lock files are opened per use (fds cached across a fork
+        would alias the lock between parent and pool workers)."""
+        stripe = self._stripes[int(shard, 16) % NUM_SHARDS]
+        with stripe:
+            if fcntl is None:  # pragma: no cover - non-POSIX fallback
+                yield
+                return
+            lock_dir = os.path.join(self.root, _LOCK_DIR)
+            os.makedirs(lock_dir, exist_ok=True)
+            fd = os.open(os.path.join(lock_dir, f"{shard}.lock"),
+                         os.O_CREAT | os.O_RDWR, 0o644)
+            try:
+                fcntl.flock(fd, fcntl.LOCK_EX)
+                yield
+            finally:
+                os.close(fd)  # closing the fd releases the flock
+
+    def _count(self, counter: str, n: int = 1) -> None:
+        with self._stats_lock:
+            setattr(self.stats, counter, getattr(self.stats, counter) + n)
 
     # -- generic load/store --------------------------------------------------
     def load(self, kind: str, key: str):
-        """The stored object, or ``None`` on miss/corruption/version skew."""
+        """The stored object, or ``None`` on miss/corruption/version skew.
+
+        Lock-free: publication is atomic (``os.replace``), so a read
+        sees either the complete envelope or nothing. A concurrent
+        eviction between our read and the mtime touch only makes the
+        touch a no-op.
+        """
         path = self.path_for(kind, key)
-        self.stats.loads += 1
+        self._count("loads")
         try:
             with open(path, "rb") as fh:
                 envelope = pickle.load(fh)
         except FileNotFoundError:
-            self.stats.load_misses += 1
+            self._count("load_misses")
             return None
         except Exception:
             # Truncated or garbage pickle stream: quarantine and miss.
@@ -149,35 +259,49 @@ class PersistentCache:
         """Atomically publish *obj* under (kind, key); last writer wins.
 
         Entries are content-addressed, so an existing file already holds
-        this exact content — skip the write instead of re-publishing.
+        this exact content — skip the write, but **re-touch the mtime**
+        (exactly like a load) so that an entry being written by many
+        concurrent processes counts as hot, not stale: without the
+        touch, a concurrent GC could LRU-evict an entry between one
+        process's existence check and another's read.
         """
         path = self.path_for(kind, key)
-        if os.path.exists(path):
-            return
-        payload = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
-        envelope = pickle.dumps({
-            "format": CACHE_FORMAT_VERSION,
-            "kind": kind,
-            "key": key,
-            "sha256": hashlib.sha256(payload).hexdigest(),
-            "payload": payload,
-        }, protocol=pickle.HIGHEST_PROTOCOL)
-        directory = os.path.dirname(path)
-        os.makedirs(directory, exist_ok=True)
-        fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
-        try:
-            with os.fdopen(fd, "wb") as fh:
-                fh.write(envelope)
-            os.replace(tmp, path)
-        except BaseException:
+        shard = shard_for(key)
+        with self._shard_lock(shard):
+            if os.path.exists(path):
+                try:
+                    os.utime(path)
+                except OSError:
+                    pass
+                return
+            payload = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+            envelope = pickle.dumps({
+                "format": CACHE_FORMAT_VERSION,
+                "kind": kind,
+                "key": key,
+                "sha256": hashlib.sha256(payload).hexdigest(),
+                "payload": payload,
+            }, protocol=pickle.HIGHEST_PROTOCOL)
+            directory = os.path.dirname(path)
+            os.makedirs(directory, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
             try:
-                os.unlink(tmp)
-            except OSError:
-                pass
-            raise
-        self.stats.stores += 1
-        self._stores_since_gc += 1
-        if (self._capped and self._stores_since_gc >= _GC_STORE_INTERVAL):
+                with os.fdopen(fd, "wb") as fh:
+                    fh.write(envelope)
+                os.replace(tmp, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+        self._count("stores")
+        with self._stats_lock:
+            self._stores_since_gc += 1
+            due = (self._capped
+                   and self._stores_since_gc >= self.gc_interval)
+        if due:
+            # Outside the shard lock: gc takes shard locks itself.
             self.gc()
 
     # -- garbage collection --------------------------------------------------
@@ -189,11 +313,17 @@ class PersistentCache:
         """Enforce the size/entry caps and age out quarantined files.
 
         Evicts ``*.pkl`` entries least-recently-used first (by mtime —
-        loads touch their file) until both configured caps hold, and
-        unconditionally deletes ``*.rejected`` quarantine files and
-        orphaned ``*.tmp`` writes older than ``rejected_retention_s``.
-        Returns the number of files removed. Concurrent removal of a file
-        by another process is treated as that file already being gone.
+        loads and skipped re-stores touch their file) until both
+        configured caps hold, and unconditionally deletes ``*.rejected``
+        quarantine files and orphaned ``*.tmp`` writes older than
+        ``rejected_retention_s``. Returns the number of files removed.
+
+        Safe against concurrent sessions and processes: the scan runs
+        lock-free, but each eviction re-stats its file under the shard's
+        striped lock and is **skipped** if the entry was touched (used)
+        since the scan — so a stale scan can never evict an entry that
+        went hot underneath it. Concurrent removal of a file by another
+        process is treated as that file already being gone.
         """
         now = time.time() if now is None else now
         removed = 0
@@ -201,23 +331,23 @@ class PersistentCache:
         total_bytes = 0
         for sub in _KIND_DIRS.values():
             directory = os.path.join(self.root, sub)
-            try:
-                names = os.listdir(directory)
-            except OSError:
-                continue
-            for name in names:
-                path = os.path.join(directory, name)
-                try:
-                    st = os.stat(path)
-                except OSError:
-                    continue
-                if name.endswith(".pkl"):
-                    entries.append((st.st_mtime, st.st_size, path))
-                    total_bytes += st.st_size
-                elif now - st.st_mtime > self.rejected_retention_s:
-                    if self._unlink(path):
-                        self.stats.purged += 1
-                        removed += 1
+            # Recursive walk: shard subdirectories, plus any pre-shard
+            # flat files (unfindable by load, but still counted and
+            # eventually evicted rather than leaked).
+            for dirpath, _dirnames, names in os.walk(directory):
+                for name in names:
+                    path = os.path.join(dirpath, name)
+                    try:
+                        st = os.stat(path)
+                    except OSError:
+                        continue
+                    if name.endswith(".pkl"):
+                        entries.append((st.st_mtime, st.st_size, path))
+                        total_bytes += st.st_size
+                    elif now - st.st_mtime > self.rejected_retention_s:
+                        if self._unlink(path):
+                            self._count("purged")
+                            removed += 1
         if self._capped:
             entries.sort()  # oldest mtime first = least recently used
             count = len(entries)
@@ -228,12 +358,27 @@ class PersistentCache:
                               and total_bytes > self.max_bytes)
                 if not (over_entries or over_bytes):
                     break
-                if self._unlink(path):
-                    self.stats.evicted += 1
-                    removed += 1
+                key = os.path.basename(path)[:-len(".pkl")]
+                with self._shard_lock(shard_for(key)):
+                    try:
+                        st = os.stat(path)
+                    except OSError:
+                        # Another process already evicted it: the space
+                        # is free either way.
+                        count -= 1
+                        total_bytes -= size
+                        continue
+                    if st.st_mtime > mtime:
+                        # Touched since the scan — the entry went hot;
+                        # leave it (and its footprint) alone.
+                        continue
+                    if self._unlink(path):
+                        self._count("evicted")
+                        removed += 1
                 count -= 1
                 total_bytes -= size
-        self._stores_since_gc = 0
+        with self._stats_lock:
+            self._stores_since_gc = 0
         return removed
 
     @staticmethod
@@ -280,8 +425,8 @@ class PersistentCache:
 
     def _reject(self, path: str) -> None:
         """Move an unreadable entry aside so the next store can heal it."""
-        self.stats.load_misses += 1
-        self.stats.rejected += 1
+        self._count("load_misses")
+        self._count("rejected")
         try:
             os.replace(path, path + ".rejected")
         except OSError:

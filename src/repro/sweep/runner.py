@@ -35,6 +35,7 @@ session for the single call.
 from __future__ import annotations
 
 import contextlib
+import contextvars
 import multiprocessing
 from typing import List, Optional, Sequence, Tuple, Union
 
@@ -92,9 +93,27 @@ def price_cell(cell: SweepCell, cache: Optional[GraphCache] = None,
 _WORKER_CACHE: Optional[GraphCache] = None
 
 
-def _init_worker(cache_dir: Optional[str] = None) -> None:
+def _init_worker(
+    cache_dir: Optional[str] = None,
+    max_bytes: Optional[int] = None,
+    max_entries: Optional[int] = None,
+    gc_interval: Optional[int] = None,
+) -> None:
+    """Build the worker-side cache, mirroring the session's disk caps.
+
+    Workers write the shared disk tier too, so they must enforce the
+    same ``max_bytes``/``max_entries`` — uncapped workers would grow the
+    directory unbounded between session-close GCs (and a long-lived
+    server never closes). The caps trigger the cache's own incremental
+    GC every ``gc_interval`` stores, inside the worker.
+    """
     global _WORKER_CACHE
-    persist = PersistentCache(cache_dir) if cache_dir else None
+    persist = None
+    if cache_dir:
+        kwargs = {"max_bytes": max_bytes, "max_entries": max_entries}
+        if gc_interval is not None:
+            kwargs["gc_interval"] = gc_interval
+        persist = PersistentCache(cache_dir, **kwargs)
     _WORKER_CACHE = GraphCache(persist=persist)
 
 
@@ -222,10 +241,16 @@ class SweepSession:
         if self._pool is not None and self._pool_size < target:
             self.close()
         if self._pool is None:
+            persist = self.cache.persist
             self._pool = multiprocessing.Pool(
                 target,
                 initializer=_init_worker,
-                initargs=(self.cache_dir,),
+                initargs=(
+                    self.cache_dir,
+                    persist.max_bytes if persist else None,
+                    persist.max_entries if persist else None,
+                    persist.gc_interval if persist else None,
+                ),
             )
             self._pool_size = target
         return self._pool
@@ -268,7 +293,7 @@ class SweepSession:
         workers = self.workers if workers is None else workers
         if workers and workers > 1 and len(to_price) > 1:
             plan = plan_schedule(to_price, workers,
-                                 self._estimate_for(to_price))
+                                 self.estimator_for(to_price))
             pool = self._pool_for(workers, len(plan.bundles))
             for priced, delta in pool.map(
                 _price_bundle_in_worker,
@@ -287,10 +312,12 @@ class SweepSession:
             cells, {c.key(): cache.cached_cost(c.key()) for c in unique}
         )
 
-    def _estimate_for(self, cells: Sequence[SweepCell]) -> Optional[CostEstimate]:
+    def estimator_for(self, cells: Sequence[SweepCell]) -> Optional[CostEstimate]:
         """Scheduler weights for *cells*: the explicit estimate if one was
         configured, else observed node counts fed back from earlier runs
-        (memory or disk), else ``None`` (the static default)."""
+        (memory or disk), else ``None`` (the static default). Public
+        because the serving layer uses the same weights to order cold
+        cells heaviest-first in its pricing queue."""
         if self.estimate is not None:
             return self.estimate
         counts = {}
@@ -304,17 +331,25 @@ class SweepSession:
 
 
 # -- the active-session hook (installed by the experiments CLI) -----------------
-_ACTIVE_SESSION: Optional[SweepSession] = None
+#: Context-local, not a module global: each thread and each asyncio task
+#: sees its own active session, so a threaded caller (e.g. the serving
+#: layer's pricing executor) entering ``use_session`` cannot stomp
+#: another thread's session or restore the wrong one on exit.
+_ACTIVE_SESSION: contextvars.ContextVar[Optional[SweepSession]] = (
+    contextvars.ContextVar("active_sweep_session", default=None)
+)
 
 
 def active_session() -> Optional[SweepSession]:
-    """The session installed by :func:`use_session`, if any.
+    """The session installed by :func:`use_session` in *this* context.
 
     Experiments that need more than ``run_sweep`` (e.g. direct access to
     the session's graph cache) use this to ride the shared session
-    instead of creating a private cache that would bypass it.
+    instead of creating a private cache that would bypass it. Contexts
+    are per-thread and per-asyncio-task: a session installed in one
+    thread is invisible to every other.
     """
-    return _ACTIVE_SESSION
+    return _ACTIVE_SESSION.get()
 
 
 @contextlib.contextmanager
@@ -325,13 +360,16 @@ def use_session(session: SweepSession):
     calls while a CLI run shares a single warm pool and persistent cache
     across every figure. Calls that pass their own ``cache`` keep their
     isolation and bypass the session.
+
+    Installation is context-local (``contextvars``): concurrent threads
+    or tasks each nest their own sessions independently, and the token
+    reset on exit restores exactly what this context had before.
     """
-    global _ACTIVE_SESSION
-    previous, _ACTIVE_SESSION = _ACTIVE_SESSION, session
+    token = _ACTIVE_SESSION.set(session)
     try:
         yield session
     finally:
-        _ACTIVE_SESSION = previous
+        _ACTIVE_SESSION.reset(token)
 
 
 def run_sweep(
@@ -359,8 +397,9 @@ def run_sweep(
     ``cache``/``cache_dir`` execute on the active session (warm pool,
     shared caches); otherwise an ephemeral session runs this call alone.
     """
-    if cache is None and cache_dir is None and _ACTIVE_SESSION is not None:
-        return _ACTIVE_SESSION.run(spec, workers=parallel)
+    session = _ACTIVE_SESSION.get()
+    if cache is None and cache_dir is None and session is not None:
+        return session.run(spec, workers=parallel)
     with SweepSession(workers=parallel, cache=cache,
                       cache_dir=cache_dir) as session:
         return session.run(spec)

@@ -72,6 +72,23 @@ def observed_cost_estimate(
     return estimate
 
 
+def order_by_weight(
+    cells: Sequence[SweepCell],
+    estimate: Optional[CostEstimate] = None,
+) -> List[SweepCell]:
+    """*cells* heaviest-first (stable on input order for equal weights).
+
+    The serving layer's per-cell analogue of the bundle-level LPT sort:
+    when one request carries several cold cells, enqueueing the heaviest
+    first minimizes the tail latency of the whole request for any number
+    of pricing threads.
+    """
+    estimate = estimate or default_cost_estimate
+    order = sorted(range(len(cells)),
+                   key=lambda i: (-estimate(cells[i]), i))
+    return [cells[i] for i in order]
+
+
 @dataclass(frozen=True)
 class CellGroup:
     """Unique cells sharing one restructured graph (one ``scenario_key``)."""

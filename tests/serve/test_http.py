@@ -1,0 +1,207 @@
+"""HTTP front end + ServingClient, end to end over a real socket.
+
+The server runs its event loop on a background thread (ephemeral port);
+the synchronous client talks to it from the test thread — the same
+topology as a real ``repro-experiments serve`` deployment.
+"""
+
+import asyncio
+import contextlib
+import http.client
+import json
+import socket
+import threading
+
+import pytest
+
+from repro.perf.report import IterationCost
+from repro.serve import (
+    CostService,
+    HttpServer,
+    RetryLater,
+    ServingClient,
+    ServingError,
+    cell_from_json,
+)
+from repro.sweep import METRICS, GraphCache, SweepSession, price_cell
+
+
+@contextlib.contextmanager
+def serving(service):
+    """Run an HttpServer for *service* on a background loop thread."""
+    server = HttpServer(service, port=0)
+    started = threading.Event()
+    holder = {}
+
+    async def main():
+        await server.start()
+        started.set()
+        try:
+            await server.serve_forever()
+        finally:
+            await server.close()
+
+    def run():
+        loop = asyncio.new_event_loop()
+        holder["loop"] = loop
+        holder["task"] = loop.create_task(main())
+        try:
+            loop.run_until_complete(holder["task"])
+        except asyncio.CancelledError:
+            pass
+        finally:
+            loop.close()
+
+    thread = threading.Thread(target=run, daemon=True)
+    thread.start()
+    assert started.wait(timeout=30), "server never started"
+    try:
+        yield ServingClient(host=server.host, port=server.port)
+    finally:
+        holder["loop"].call_soon_threadsafe(holder["task"].cancel)
+        thread.join(timeout=30)
+        service.close()
+
+
+def _raw_request(client, method, path, body=b"", headers=()):
+    """Bypass ServingClient's error mapping to inspect raw responses."""
+    conn = http.client.HTTPConnection(client.host, client.port, timeout=30)
+    try:
+        conn.request(method, path, body=body, headers=dict(headers))
+        response = conn.getresponse()
+        return response.status, dict(response.getheaders()), response.read()
+    finally:
+        conn.close()
+
+
+def test_round_trip_and_warm_second_query():
+    cell = cell_from_json({"model": "tiny_cnn", "batch": 2})
+    want = price_cell(cell, GraphCache())
+    with SweepSession() as session, \
+            serving(CostService(session)) as client:
+        assert client.healthy()
+        [row] = client.price_cells([{"model": "tiny_cnn", "batch": 2}])
+        assert row["cell"]["model"] == "tiny_cnn"
+        assert row["key"] == cell.key()
+        for name, fn in METRICS.items():
+            assert row["metrics"][name] == pytest.approx(fn(want))
+        # SweepCell objects serialize identically to dicts.
+        [again] = client.price_cells([cell])
+        assert again == row
+        stats = client.stats()
+        assert stats["service"]["requests"] == 2
+        assert stats["service"]["warm_hits"] == 1
+        assert stats["service"]["priced"] == 1
+
+
+def test_grid_request_expands_server_side():
+    with SweepSession() as session, \
+            serving(CostService(session)) as client:
+        rows = client.price_grid(models=["tiny_cnn"],
+                                 scenarios=["baseline"], batches=[2, 4])
+        assert [r["cell"]["batch"] for r in rows] == [2, 4]
+        assert all(r["metrics"]["total_time_s"] > 0 for r in rows)
+
+
+def test_error_mapping():
+    with SweepSession() as session, \
+            serving(CostService(session)) as client:
+        # Unknown model -> 400 with the sweep layer's own message.
+        with pytest.raises(ServingError, match="nope") as err:
+            client.price_cells([{"model": "nope"}])
+        assert err.value.status == 400
+        # Malformed JSON -> 400.
+        status, _, body = _raw_request(
+            client, "POST", "/price", b"{not json",
+            [("Content-Length", "9")],
+        )
+        assert status == 400 and b"bad JSON" in body
+        # Wrong method -> 405; unknown route -> 404.
+        assert _raw_request(client, "GET", "/price")[0] == 405
+        status, _, body = _raw_request(client, "GET", "/nowhere")
+        assert status == 404 and b"/healthz" in body
+        # Declared body over the cap -> 413 without reading it.
+        status, _, _ = _raw_request(
+            client, "POST", "/price", b"",
+            [("Content-Length", str(64 << 20))],
+        )
+        assert status == 413
+
+
+def test_shed_maps_to_429_and_client_retries():
+    release = threading.Event()
+    session = SweepSession()
+
+    def pricer(cell):
+        assert release.wait(timeout=30)
+        return price_cell(cell, session.cache)
+
+    service = CostService(session, max_pending=1, pricer=pricer,
+                          min_retry_after_s=0.01)
+    with session, serving(service) as client:
+        blocked = threading.Thread(
+            target=client.price_cells,
+            args=([{"model": "tiny_cnn", "batch": 2}],),
+        )
+        blocked.start()
+        while service.pending < 1:
+            threading.Event().wait(0.01)
+        # No retries: the shed surfaces as RetryLater with the server's
+        # own estimate (and a Retry-After header on the wire).
+        with pytest.raises(RetryLater) as shed:
+            client.price_cells([{"model": "tiny_cnn", "batch": 8}])
+        assert shed.value.retry_after_s > 0
+        status, headers, _ = _raw_request(
+            client, "POST", "/price",
+            json.dumps({"cells": [{"model": "tiny_cnn", "batch": 8}]}
+                       ).encode(),
+        )
+        assert status == 429 and int(headers["Retry-After"]) >= 1
+        # With retries, the client sleeps the server's estimate and
+        # succeeds once the queue drains.
+        release.set()
+        [row] = client.price_cells([{"model": "tiny_cnn", "batch": 8}],
+                                   retries=10)
+        assert row["metrics"]["total_time_s"] > 0
+        blocked.join(timeout=30)
+        assert not blocked.is_alive()
+
+
+def test_keep_alive_and_connection_close():
+    with SweepSession() as session, \
+            serving(CostService(session)) as client:
+        # Two requests over one kept-alive connection.
+        conn = http.client.HTTPConnection(client.host, client.port,
+                                          timeout=30)
+        try:
+            for _ in range(2):
+                conn.request("GET", "/healthz")
+                response = conn.getresponse()
+                assert response.status == 200
+                assert json.loads(response.read()) == {"ok": True}
+                assert response.getheader("Connection") == "keep-alive"
+            # Connection: close is honored: the server hangs up after.
+            conn.request("GET", "/healthz", headers={"Connection": "close"})
+            response = conn.getresponse()
+            assert response.getheader("Connection") == "close"
+            response.read()
+            assert conn.sock is None or not _readable(conn.sock)
+        finally:
+            conn.close()
+
+
+def _readable(sock):
+    try:
+        sock.settimeout(1.0)
+        return sock.recv(1) != b""
+    except (socket.timeout, OSError):
+        return False
+
+
+def test_healthy_is_false_with_no_server():
+    # Grab a port that nothing listens on.
+    probe = socket.socket()
+    probe.bind(("127.0.0.1", 0))
+    port = probe.getsockname()[1]
+    probe.close()
+    assert not ServingClient(port=port, timeout_s=1.0).healthy()

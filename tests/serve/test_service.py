@@ -1,0 +1,180 @@
+"""CostService semantics: coalescing, backpressure, warm path, stats.
+
+The pricer is injectable, so these tests replace it with a blocking
+instrumented one and control exactly when pricing completes — the
+coalescing and shed behavior is then fully deterministic.
+"""
+
+import asyncio
+import threading
+
+import pytest
+
+from repro.serve import CostService, ServiceOverloaded, cell_from_json
+from repro.sweep import GraphCache, SweepSession, SweepSpec, price_cell
+
+GRID = SweepSpec(name="svc", models=("tiny_cnn",),
+                 scenarios=("baseline",), batches=(2, 4))
+
+
+def _cell(batch=2):
+    return cell_from_json({"model": "tiny_cnn", "batch": batch})
+
+
+class BlockingPricer:
+    """Counts calls and blocks until released; optionally delegates to
+    the real pricer (storing into *cache*) so costs become warm."""
+
+    def __init__(self, cache=None, passthrough_keys=()):
+        self.calls = []
+        self.release = threading.Event()
+        self.cache = cache
+        self.passthrough = set(passthrough_keys)
+
+    def __call__(self, cell):
+        self.calls.append(cell.key())
+        if cell.key() not in self.passthrough:
+            assert self.release.wait(timeout=30), "pricer never released"
+        cache = self.cache if self.cache is not None else GraphCache()
+        return price_cell(cell, cache)
+
+
+def test_identical_inflight_queries_coalesce_to_one_price():
+    async def main():
+        with SweepSession() as session:
+            pricer = BlockingPricer()
+            service = CostService(session, pricer=pricer)
+            cell = _cell()
+            tasks = [asyncio.create_task(service.price_cell(cell))
+                     for _ in range(5)]
+            # Let every task classify its cell while pricing is blocked:
+            # the first enqueues, the other four must find it in flight.
+            while len(pricer.calls) < 1:
+                await asyncio.sleep(0.01)
+            await asyncio.sleep(0.05)
+            assert service.stats.coalesced == 4
+            assert service.stats.priced == 1
+            pricer.release.set()
+            costs = await asyncio.gather(*tasks)
+            # Exactly one compute; everyone got its (identical) result.
+            assert pricer.calls == [cell.key()]
+            assert all(c is costs[0] for c in costs)
+            assert service.pending == 0 and service._inflight == {}
+            assert service.stats.requests == 5
+            service.close()
+
+    asyncio.run(main())
+
+
+def test_duplicate_cells_within_one_request_price_once():
+    async def main():
+        with SweepSession() as session, CostService(session) as service:
+            cell = _cell()
+            costs = await service.price_cells([cell, cell, cell])
+            assert service.stats.priced == 1
+            assert len(costs) == 3 and costs[0] is costs[1] is costs[2]
+
+    asyncio.run(main())
+
+
+def test_second_query_is_a_synchronous_warm_hit():
+    async def main():
+        with SweepSession() as session, CostService(session) as service:
+            cell = _cell()
+            first = await service.price_cell(cell)
+            again = await service.price_cell(cell)
+            assert service.stats.priced == 1
+            assert service.stats.warm_hits == 1
+            assert again is first  # the memory tier's own object
+
+    asyncio.run(main())
+
+
+def test_backpressure_sheds_atomically_and_spares_warm_requests():
+    async def main():
+        with SweepSession() as session:
+            warm = _cell(batch=2)
+            pricer = BlockingPricer(cache=session.cache,
+                                    passthrough_keys={warm.key()})
+            service = CostService(session, max_pending=1, pricer=pricer,
+                                  min_retry_after_s=0.01)
+            # Warm up one cell (passthrough: prices without blocking).
+            await service.price_cell(warm)
+
+            blocked = asyncio.create_task(service.price_cell(_cell(batch=4)))
+            while service.pending < 1:
+                await asyncio.sleep(0.01)
+
+            # A new cold cell would overflow the cap: shed as a whole,
+            # before enqueueing anything.
+            with pytest.raises(ServiceOverloaded) as shed:
+                await service.price_cells([_cell(batch=8)])
+            assert shed.value.retry_after_s > 0
+            assert shed.value.pending == 1 and shed.value.capacity == 1
+            assert service.stats.shed == 1
+            assert service.pending == 1  # nothing from the shed request
+
+            # Warm and coalesced requests are never shed, even at cap.
+            assert (await service.price_cell(warm)) is not None
+            coalesced = asyncio.create_task(service.price_cell(_cell(batch=4)))
+            await asyncio.sleep(0.05)
+            assert service.stats.shed == 1
+
+            pricer.release.set()
+            a, b = await asyncio.gather(blocked, coalesced)
+            assert a is b
+            assert service.stats.coalesced == 1
+            # With the queue drained, the shed cell prices fine.
+            assert (await service.price_cell(_cell(batch=8))) is not None
+            service.close()
+
+    asyncio.run(main())
+
+
+def test_pricing_failure_propagates_and_clears_inflight():
+    async def main():
+        def broken(cell):
+            raise ValueError(f"no price for {cell.model}")
+
+        with SweepSession() as session:
+            with CostService(session, pricer=broken) as service:
+                with pytest.raises(ValueError, match="no price"):
+                    await service.price_cell(_cell())
+                assert service.pending == 0 and service._inflight == {}
+            # The failure is not cached: a healthy service re-prices.
+            with CostService(session) as service:
+                assert (await service.price_cell(_cell())) is not None
+
+    asyncio.run(main())
+
+
+def test_price_spec_matches_direct_pricing():
+    async def main():
+        with SweepSession() as session, CostService(session) as service:
+            result = await service.price_spec(GRID)
+            assert len(result) == len(GRID.cells())
+            reference = GraphCache()
+            for cell in GRID.cells():
+                want = price_cell(cell, reference)
+                got = result.cost(batch=cell.batch)
+                assert got.total_time_s == pytest.approx(want.total_time_s)
+
+    asyncio.run(main())
+
+
+def test_stats_snapshot_shape_and_constructor_validation():
+    async def main():
+        with SweepSession() as session, CostService(session) as service:
+            await service.price_cell(_cell())
+            snap = service.stats_snapshot()
+            assert snap["service"]["requests"] == 1
+            assert snap["service"]["pending"] == 0
+            assert snap["service"]["max_pending"] == service.max_pending
+            assert "cost_misses" in snap["cache"]
+
+    asyncio.run(main())
+    with SweepSession() as session:
+        with pytest.raises(ValueError, match="max_pending"):
+            CostService(session, max_pending=0)
+        with pytest.raises(ValueError, match="pricing_threads"):
+            CostService(session, pricing_threads=0)

@@ -176,8 +176,9 @@ def test_wrong_kind_or_key_is_rejected(cache_dir):
     run_sweep(GRID, cache=cache)
     [cell, other] = GRID.cells()[:2]
     # A valid envelope copied to the wrong key must not be served.
-    os.replace(persist.path_for("cost", cell.key()),
-               persist.path_for("cost", "deadbeefdeadbeef"))
+    wrong_path = persist.path_for("cost", "deadbeefdeadbeef")
+    os.makedirs(os.path.dirname(wrong_path), exist_ok=True)
+    os.replace(persist.path_for("cost", cell.key()), wrong_path)
     fresh = PersistentCache(cache_dir)
     assert fresh.load_cost("deadbeefdeadbeef") is None
     assert fresh.stats.rejected == 1
@@ -190,16 +191,23 @@ def test_store_is_idempotent_and_atomic(cache_dir):
     store = run_sweep(GRID, cache=cache)
     [cell] = GRID.cells()[:1]
     path = persist.path_for("cost", cell.key())
-    mtime = os.path.getmtime(path)
-    # Re-storing existing content-keyed entries is a no-op...
+    with open(path, "rb") as fh:
+        published = fh.read()
+    os.utime(path, (1, 1))  # back-date so the re-store's touch is visible
+    # Re-storing an existing content-keyed entry skips the write but
+    # re-touches the mtime (like a load): an entry hot across many
+    # writer processes must not look LRU-stale to a concurrent GC.
     persist.store_cost(cell.key(), store.rows[0].cost)
-    assert os.path.getmtime(path) == mtime
-    # ...and no temp files are left behind anywhere in the cache.
+    assert os.path.getmtime(path) > 1
+    with open(path, "rb") as fh:
+        assert fh.read() == published  # the bytes were never rewritten
+    # ...and no temp files are left behind anywhere in the cache
+    # (per-shard flock files live apart, under locks/).
     leftovers = [
         name
         for _, _, files in os.walk(persist.root)
         for name in files
-        if not name.endswith(".pkl")
+        if not (name.endswith(".pkl") or name.endswith(".lock"))
     ]
     assert leftovers == []
 
@@ -246,7 +254,7 @@ def test_node_counts_persist_and_feed_the_scheduler(cache_dir):
 
     # And the session turns them into scheduler weights.
     session = SweepSession(cache=GraphCache(persist=PersistentCache(cache_dir)))
-    estimate = session._estimate_for(cells)
+    estimate = session.estimator_for(cells)
     assert estimate is not None
     for cell in cells:
         graph = cache.scenario_graph(cell.model, cell.batch, cell.scenario)
@@ -258,5 +266,5 @@ def test_unknown_graphs_keep_static_estimate(cache_dir):
     session = SweepSession(cache_dir=cache_dir)
     cells = GRID.cells()
     # Nothing has been built: no observed counts, static default applies.
-    assert session._estimate_for(cells) is None
+    assert session.estimator_for(cells) is None
     session.close()

@@ -1,0 +1,138 @@
+"""Thread/context safety of the active-session hook and worker caps.
+
+Regression suite for the one-session-owns-everything assumption:
+``use_session`` used to mutate a plain module global, so two threads
+entering distinct sessions stomped each other's session and leaked the
+wrong one on exit — exactly what a threaded server does on every
+request. The hook is a ``contextvars.ContextVar`` now; these tests pin
+the isolation contract.
+"""
+
+import threading
+
+from repro.sweep import (
+    GraphCache,
+    SweepSession,
+    SweepSpec,
+    active_session,
+    run_sweep,
+    use_session,
+)
+from repro.sweep.runner import _init_worker
+import repro.sweep.runner as runner_mod
+
+GRID = SweepSpec(name="thr", models=("tiny_cnn",),
+                 scenarios=("baseline",), batches=(2,))
+
+
+def test_two_threads_enter_distinct_sessions_concurrently():
+    """Each thread must see its own session for the whole block, and
+    a clean (no-session) state after exiting — regardless of how the
+    two threads' enters and exits interleave."""
+    ready = threading.Barrier(2)
+    inside = threading.Barrier(2)
+    errors = []
+
+    def enter(session):
+        try:
+            ready.wait(timeout=10)
+            with use_session(session):
+                # Both threads are inside their blocks simultaneously:
+                # under the old module global, one of these would see
+                # the other thread's session.
+                inside.wait(timeout=10)
+                assert active_session() is session
+                inside.wait(timeout=10)
+                assert active_session() is session
+            assert active_session() is None
+        except Exception as e:  # pragma: no cover - failure reporting
+            errors.append(e)
+
+    sessions = [SweepSession(), SweepSession()]
+    threads = [threading.Thread(target=enter, args=(s,)) for s in sessions]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=30)
+    for s in sessions:
+        s.close()
+    assert errors == []
+
+
+def test_thread_started_inside_block_does_not_inherit_session():
+    """A fresh thread runs in a fresh context: the installed session is
+    not visible there (each server thread opts in explicitly)."""
+    observed = []
+    with SweepSession() as session, use_session(session):
+        t = threading.Thread(target=lambda: observed.append(active_session()))
+        t.start()
+        t.join(timeout=30)
+        assert active_session() is session
+    assert observed == [None]
+
+
+def test_nested_use_session_restores_per_context():
+    with SweepSession() as outer, SweepSession() as inner:
+        with use_session(outer):
+            assert active_session() is outer
+            with use_session(inner):
+                assert active_session() is inner
+            assert active_session() is outer
+        assert active_session() is None
+
+
+def test_run_sweep_in_thread_uses_that_threads_session():
+    """run_sweep routes through the *caller's* context: a thread with no
+    session prices ephemerally even while another thread has one
+    installed (the old global would hijack it)."""
+    with SweepSession() as session, use_session(session):
+        result = {}
+
+        def price_without_session():
+            cache = GraphCache()
+            result["store"] = run_sweep(GRID, cache=cache)
+            result["cache"] = cache
+
+        t = threading.Thread(target=price_without_session)
+        t.start()
+        t.join(timeout=60)
+        # The isolated thread priced with its own cache, not the
+        # installed session's.
+        assert result["cache"].stats.cost_misses == len(result["store"])
+        assert session.stats.cost_misses == 0
+
+
+def test_worker_init_mirrors_session_cache_caps(tmp_path):
+    """Pool workers must enforce the session's disk caps: an uncapped
+    worker cache writes the shared directory unbounded, and a long-lived
+    server never reaches the session-close GC."""
+    _init_worker(str(tmp_path), 1 << 20, 64, 8)
+    cache = runner_mod._WORKER_CACHE
+    assert cache is not None and cache.persist is not None
+    assert cache.persist.max_bytes == 1 << 20
+    assert cache.persist.max_entries == 64
+    assert cache.persist.gc_interval == 8
+    runner_mod._WORKER_CACHE = None
+
+
+def test_pool_initargs_carry_the_caps(tmp_path):
+    """The session hands its persistent tier's caps to every worker."""
+    cache_dir = str(tmp_path / "capped")
+    with SweepSession(workers=2, cache_dir=cache_dir,
+                      max_cache_bytes=123456,
+                      max_cache_entries=99) as session:
+        pool = session._pool_for(2, 2)
+        assert pool is not None
+        # The worker processes were initialized with the caps; verify by
+        # asking one to describe its cache.
+        descriptions = pool.map(_describe_worker_cache, [None, None])
+    for desc in descriptions:
+        assert desc == (cache_dir, 123456, 99)
+
+
+def _describe_worker_cache(_):
+    cache = runner_mod._WORKER_CACHE
+    persist = cache.persist if cache else None
+    if persist is None:
+        return None
+    return persist.root, persist.max_bytes, persist.max_entries

@@ -1,0 +1,144 @@
+"""Bench kernel wall clocks — blocked vs naive, measured vs predicted.
+
+Times the blocked streaming kernels (:mod:`repro.kernels.blocked`) against
+their naive counterparts across a ladder of shapes and lands every record
+— measured seconds on both sides plus the cache-model / simulator
+prediction from :mod:`repro.perf.measured` — in ``BENCH_kernel_wall.json``
+(uploaded by the CI bench-smoke job).
+
+Two guard rails, scaled to the mode:
+
+* always: blocked must never be slower than naive beyond a 10% noise band
+  — the tuner may find nothing to tile (then it delegates), but it must
+  never make things worse;
+* full mode only: on the largest shape the blocked one-pass statistics
+  kernel must clear 1.3x over naive — the temporaries it refuses to
+  allocate are ~2x the input's bytes, so well under that means the
+  streaming structure has regressed.
+"""
+
+import json
+import os
+
+import numpy as np
+
+from repro.config import rng, stat_dtype
+from repro.kernels.blocked import (
+    blocked_normalize_apply,
+    blocked_onepass_stats,
+)
+from repro.kernels.bn_stats import onepass_stats
+from repro.kernels.tune import detect_local_llc_bytes
+from repro.perf.measured import (
+    kernel_wall_record,
+    predicted_bn_forward_ratio,
+    predicted_normalize_traffic,
+    predicted_stats_traffic,
+)
+
+QUICK = bool(os.environ.get("BENCH_SWEEP_QUICK"))
+
+#: Shape ladder: quick mode stays tiny (CI smoke); full mode climbs to a
+#: paper-scale conv output whose naive temporaries dwarf any LLC.
+SHAPES = (
+    [(8, 8, 14, 14), (16, 32, 28, 28)]
+    if QUICK
+    else [(16, 32, 28, 28), (32, 64, 28, 28), (64, 128, 56, 56)]
+)
+REPEATS = 3
+
+#: Noise band for the "never slower" rail: best-of-3 wall clocks on shared
+#: CI runners still jitter a few percent.
+NOISE_BAND = 1.10
+#: Absolute grace on top of the band: the blocked kernels pay a fixed
+#: tune-lookup + scratch-pool setup per call, which dominates only when
+#: the whole kernel runs in tens of microseconds (where both sides are
+#: noise anyway). Half a millisecond covers it without masking any real
+#: regression at the shapes the rails are about.
+OVERHEAD_GRACE_S = 5e-4
+#: Full-mode floor for blocked one-pass statistics on the largest shape.
+FULL_MIN_SPEEDUP = 1.3
+
+OUT_PATH = os.environ.get("BENCH_KERNEL_WALL_JSON", "BENCH_kernel_wall.json")
+
+
+def test_kernel_wall_measured_vs_predicted(artifact):
+    records = []
+    for shape in SHAPES:
+        n, c, h, w = shape
+        x = rng(13).normal(0.0, 1.5, shape).astype(np.float32)
+        stat = stat_dtype(x.dtype)
+
+        predicted = predicted_stats_traffic(shape, x.dtype, np.float64)
+        records.append(kernel_wall_record(
+            "onepass_stats", shape, x.dtype,
+            naive_fn=lambda: onepass_stats(x),
+            blocked_fn=lambda: blocked_onepass_stats(x),
+            predicted=predicted.ratio, repeats=REPEATS,
+        ))
+
+        mean, var = onepass_stats(x)
+        inv_std = (1.0 / np.sqrt(var + 1e-5)).astype(stat)
+        gamma = np.ones(c, dtype=np.float32)
+        beta = np.zeros(c, dtype=np.float32)
+
+        def naive_normalize():
+            x_hat = (x - mean[None, :, None, None].astype(stat)) \
+                * inv_std[None, :, None, None]
+            y = gamma[None, :, None, None] * x_hat \
+                + beta[None, :, None, None]
+            return y.astype(x.dtype)
+
+        records.append(kernel_wall_record(
+            "normalize", shape, x.dtype,
+            naive_fn=naive_normalize,
+            blocked_fn=lambda: blocked_normalize_apply(
+                x, mean.astype(stat), inv_std, gamma, beta),
+            predicted=predicted_normalize_traffic(shape, x.dtype,
+                                                  stat).ratio,
+            repeats=REPEATS,
+        ))
+        records[-1]["predicted_bn_forward_ratio"] = \
+            predicted_bn_forward_ratio(shape)
+
+    # Rail 1: blocked never loses beyond the noise band, at any scale.
+    for r in records:
+        limit = r["naive_s"] * NOISE_BAND + OVERHEAD_GRACE_S
+        assert r["blocked_s"] <= limit, (
+            f"{r['kernel']} at {r['shape']}: blocked {r['blocked_s']:.4f}s "
+            f"vs naive {r['naive_s']:.4f}s exceeds the {NOISE_BAND:.0%} band"
+            f" (+{OVERHEAD_GRACE_S * 1e3:.1f} ms call-overhead grace)"
+        )
+
+    # Rail 2 (full mode): the streaming win is real at paper scale.
+    if not QUICK:
+        largest = max(
+            (r for r in records if r["kernel"] == "onepass_stats"),
+            key=lambda r: int(np.prod(r["shape"])),
+        )
+        assert largest["measured_ratio"] >= FULL_MIN_SPEEDUP, (
+            f"blocked onepass only {largest['measured_ratio']:.2f}x naive "
+            f"on {largest['shape']} (floor {FULL_MIN_SPEEDUP}x)"
+        )
+
+    payload = {
+        "quick": QUICK,
+        "shapes": [list(s) for s in SHAPES],
+        "repeats": REPEATS,
+        "llc_bytes": detect_local_llc_bytes(),
+        "records": records,
+    }
+    with open(OUT_PATH, "w") as fh:
+        json.dump(payload, fh, indent=2)
+
+    lines = [f"kernel wall (quick={QUICK}, llc={detect_local_llc_bytes() >> 20}MB):"]
+    for r in records:
+        lines.append(
+            f"  {'x'.join(str(d) for d in r['shape']):>13s} "
+            f"{r['kernel']:13s} naive {r['naive_s'] * 1e3:8.2f} ms  "
+            f"blocked {r['blocked_s'] * 1e3:8.2f} ms  "
+            f"measured {r['measured_ratio']:5.2f}x  "
+            f"predicted {r['predicted_ratio']:5.2f}x"
+        )
+    lines.append(f"  -> {OUT_PATH}")
+    artifact("\n".join(lines))

@@ -7,6 +7,8 @@ that models *hardware* lives in :mod:`repro.hw`, not here.
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 
 #: Default floating point dtype for feature maps and parameters. The paper
@@ -62,6 +64,32 @@ def dtype_bytes(dtype) -> int:
     traffic accounting must never silently use a wrong element size.
     """
     return DTYPE_BYTES[np.dtype(dtype)]
+
+
+#: Environment knob for thread-parallel channel reductions in the blocked
+#: kernels (:mod:`repro.kernels.blocked`). Unset or 1 keeps every kernel
+#: serial — and therefore bit-identical to the historical numbers; the
+#: blocked reduction order is partition- and thread-invariant either way,
+#: so raising it changes wall time only.
+KERNEL_THREADS_ENV = "REPRO_KERNEL_THREADS"
+
+
+def kernel_threads() -> int:
+    """Worker-thread count for blocked-kernel reductions (default 1).
+
+    Read per call (not cached at import) so tests and benchmarks can flip
+    the environment variable without re-importing. Values below 1 clamp to
+    1; a non-integer raises ``ValueError`` rather than silently running
+    serial.
+    """
+    raw = os.environ.get(KERNEL_THREADS_ENV, "1")
+    try:
+        n = int(raw)
+    except ValueError:
+        raise ValueError(
+            f"{KERNEL_THREADS_ENV} must be an integer, got {raw!r}"
+        ) from None
+    return max(1, n)
 
 
 def rng(seed: int | None = None) -> np.random.Generator:

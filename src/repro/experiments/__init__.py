@@ -10,6 +10,7 @@ script — runs any subset and prints paper-vs-measured.
 from repro.experiments import (
     ext_depth_scaling,
     ext_kernel_precision,
+    ext_measured_roofline,
     ext_mobilenet,
     ext_precision,
     figure1,
@@ -36,6 +37,7 @@ EXPERIMENTS = {
     "ext_depth_scaling": ext_depth_scaling,
     "ext_precision": ext_precision,
     "ext_kernel_precision": ext_kernel_precision,
+    "ext_measured_roofline": ext_measured_roofline,
 }
 
 __all__ = ["EXPERIMENTS"]

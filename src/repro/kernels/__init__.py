@@ -19,6 +19,11 @@ minimal number of times prescribed by the paper's Figure 5:
 * :mod:`repro.kernels.bn_relu_conv_fused` — (sub-BN2)-ReLU-CONV2: normalize
   + clip while the following convolution reads its input; backward recovers
   the ReLU mask and BN x-hat from tensors the convolution reads anyway.
+* :mod:`repro.kernels.blocked` — the same statistics and elementwise
+  transforms executed through LLC-sized tiles with preallocated scratch
+  (bit-identical to the naive kernels at every block/thread count).
+* :mod:`repro.kernels.tune` — residency-driven block-size selection,
+  reusing the simulator's :class:`~repro.hw.cache.CacheModel` rule.
 
 The kernels never *store* the normalized or rectified intermediate feature
 maps — only the pre-BN convolution output survives, exactly the paper's
@@ -33,6 +38,21 @@ measured fp32-accumulation variant (and every tensor-core GEMM) works.
 """
 
 from repro.kernels.bf16 import bf16_round
+from repro.kernels.blocked import (
+    blocked_onepass_stats,
+    blocked_twopass_stats,
+    blocked_chunked_onepass_stats,
+    blocked_affine_normalize,
+    blocked_normalize_apply,
+    blocked_bn_input_grad_transform,
+)
+from repro.kernels.tune import (
+    choose_block_channels,
+    choose_block_batch,
+    clear_tuning_cache,
+    detect_local_llc_bytes,
+    local_hardware_spec,
+)
 from repro.kernels.bn_stats import (
     onepass_stats,
     onepass_stats_fp32,
@@ -73,6 +93,17 @@ __all__ = [
     "bn_relu_conv_forward",
     "bn_relu_conv_backward",
     "FusedChain",
+    "blocked_onepass_stats",
+    "blocked_twopass_stats",
+    "blocked_chunked_onepass_stats",
+    "blocked_affine_normalize",
+    "blocked_normalize_apply",
+    "blocked_bn_input_grad_transform",
+    "choose_block_channels",
+    "choose_block_batch",
+    "clear_tuning_cache",
+    "detect_local_llc_bytes",
+    "local_hardware_spec",
     "max_abs_diff",
     "assert_fused_equal",
 ]

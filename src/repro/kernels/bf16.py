@@ -19,30 +19,55 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.errors import ShapeError
+
 #: Largest finite bf16 value: 0x7F7F0000 as an fp32 bit pattern.
 BF16_MAX = float(np.array(0x7F7F0000, dtype=np.uint32).view(np.float32)[()])
 
 
-def bf16_round(x: np.ndarray) -> np.ndarray:
+def bf16_round(x: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
     """Round *x* to the nearest bfloat16 value, returned as fp32.
 
     Round-to-nearest-even on the fp32 bit pattern: add ``0x7FFF`` plus the
     tie-breaking bit 16, then clear the low 16 bits. Values beyond
     ``BF16_MAX`` round to infinity (bf16 shares fp32's exponent range, so
     nothing else overflows); NaN payloads pass through as NaN rather than
-    being carried into the infinity encoding by the rounding bias.
+    being carried into the infinity encoding by the rounding bias (the
+    ``np.where`` restore only runs — and only allocates — when the input
+    actually contains NaNs).
 
     Accepts any float input (upcast/downcast to fp32 first — fp32 *is*
     the bf16 emulation container) and never modifies its argument.
+
+    ``out`` — an fp32, C-contiguous, same-shaped array that must not share
+    memory with ``x`` — receives the result in place, so streaming callers
+    (the blocked kernels' scratch buffers, bf16 drift sweeps) quantize
+    without a fresh allocation per call.
     """
     x32 = np.asarray(x, dtype=np.float32)
-    bits = np.ascontiguousarray(x32).view(np.uint32)
-    rounded = (bits + np.uint32(0x7FFF) + ((bits >> np.uint32(16))
-                                           & np.uint32(1))) \
-        & np.uint32(0xFFFF0000)
-    out = rounded.view(np.float32)
+    src = np.ascontiguousarray(x32)
+    bits = src.view(np.uint32)
+    if out is None:
+        out = np.empty(x32.shape, dtype=np.float32)
+    else:
+        if out.shape != x32.shape or out.dtype != np.float32 \
+                or not out.flags.c_contiguous:
+            raise ShapeError(
+                f"bf16_round: out must be a C-contiguous fp32 array of "
+                f"shape {x32.shape}, got {out.dtype} {out.shape}"
+            )
+        if np.shares_memory(out, src):
+            raise ShapeError("bf16_round: out must not alias the input")
+    obits = out.view(np.uint32)
+    # (bits + 0x7FFF + tie) & 0xFFFF0000, staged through obits so the only
+    # allocation on the fast path is the caller-visible result itself.
+    np.right_shift(bits, np.uint32(16), out=obits)
+    np.bitwise_and(obits, np.uint32(1), out=obits)
+    np.add(obits, np.uint32(0x7FFF), out=obits)
+    np.add(obits, bits, out=obits)
+    np.bitwise_and(obits, np.uint32(0xFFFF0000), out=obits)
     # The bias can walk a NaN mantissa into the infinity encoding; restore.
     nan = np.isnan(x32)
     if nan.any():
-        out = np.where(nan, np.float32(np.nan), out)
-    return out.reshape(x32.shape)
+        out[nan] = np.float32(np.nan)
+    return out

@@ -28,6 +28,7 @@ import numpy as np
 
 from repro.config import BN_EPSILON
 from repro.errors import ExecutionError
+from repro.kernels.blocked import blocked_affine_normalize
 from repro.kernels.bn_stats import resolve_accumulate_dtype
 from repro.kernels.conv_bn_fused import (
     conv_bn_input_grad_backward,
@@ -90,9 +91,13 @@ def bn_relu_conv_forward(
     to ``x``'s storage dtype — tensor-core semantics).
     """
     acc = resolve_accumulate_dtype(accumulate_dtype, storage=x.dtype)
-    _, bn_out = _affine_normalize(x, mean, var, gamma, beta, eps,
-                                  accumulate_dtype=acc)
-    conv_in = np.maximum(bn_out, 0) if apply_relu else bn_out
+    # Forward never needs x_hat, so the affine+ReLU streams through the
+    # blocked kernel: no full-width x_hat/bn_out temporaries, identical
+    # bits (the backward below still uses _affine_normalize — it keeps
+    # both tensors).
+    conv_in = blocked_affine_normalize(x, mean, var, gamma, beta, eps,
+                                       relu=apply_relu,
+                                       accumulate_dtype=acc)
     if acc is not None and acc.itemsize > conv_in.dtype.itemsize:
         return conv.forward(conv_in.astype(acc)).astype(x.dtype)
     return conv.forward(conv_in)

@@ -128,8 +128,12 @@ def onepass_stats(
                                    storage=x.dtype)
     out = stat_dtype(x.dtype)
     m = x.shape[0] * x.shape[2] * x.shape[3]
+    # One upcast, two reductions over it: summing the original narrow array
+    # with dtype=acc gives bit-identical sums (the upcast is exact and the
+    # pairwise reduction order is unchanged) but reads the input a second
+    # time — reuse xa for both so the data is swept once.
     xa = x.astype(acc, copy=False)
-    s1 = x.sum(axis=(0, 2, 3), dtype=acc)
+    s1 = xa.sum(axis=(0, 2, 3), dtype=acc)
     s2 = (xa * xa).sum(axis=(0, 2, 3), dtype=acc)
     mean = s1 / m
     var = np.maximum(s2 / m - mean * mean, acc.type(0.0))

@@ -20,6 +20,7 @@ from typing import Optional, Tuple
 import numpy as np
 
 from repro.nn.conv import Conv2d
+from repro.kernels.blocked import blocked_bn_input_grad_transform
 from repro.kernels.bn_stats import onepass_stats, resolve_accumulate_dtype
 
 
@@ -72,29 +73,14 @@ def bn_input_grad_transform(
     elementwise math, so sub-fp32 gradients are transformed at fp32 and
     only the returned tensor is downcast to the storage dtype.
     """
-    acc = resolve_accumulate_dtype(accumulate_dtype, storage=d_bn_out.dtype)
-    d = d_bn_out
-    if acc is not None:
-        mean = mean.astype(acc, copy=False)
-        var = var.astype(acc, copy=False)
-        gamma = gamma.astype(acc, copy=False)
-        dgamma = dgamma.astype(acc, copy=False)
-        dbeta = dbeta.astype(acc, copy=False)
-        # The gradient itself must be lifted before the m-scaling:
-        # ``m * dY`` at fp16 overflows at |dY| >= 65504/m, long before
-        # any realistic gradient magnitude.
-        d = d_bn_out.astype(acc, copy=False)
-        bn_x = bn_x.astype(acc, copy=False)
-    inv_std = 1.0 / np.sqrt(var + eps)
-    m = d_bn_out.shape[0] * d_bn_out.shape[2] * d_bn_out.shape[3]
-    x_hat = (bn_x - mean[None, :, None, None]) * inv_std[None, :, None, None]
-    g = (gamma * inv_std)[None, :, None, None]
-    d_bn_in = (g / m) * (
-        m * d
-        - dbeta[None, :, None, None]
-        - x_hat * dgamma[None, :, None, None]
+    # Delegates to the blocked streaming kernel: same dtype contract (the
+    # vector lifting is reproduced there, including the narrow ``m * dY``
+    # when no accumulator is set), bit-identical at every block size, but
+    # no x_hat / m*dY full-tensor temporaries.
+    return blocked_bn_input_grad_transform(
+        d_bn_out, bn_x, mean, var, gamma, dgamma, dbeta, eps,
+        accumulate_dtype=accumulate_dtype,
     )
-    return d_bn_in.astype(d_bn_out.dtype)
 
 
 def conv_bn_input_grad_backward(

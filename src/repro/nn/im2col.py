@@ -40,9 +40,12 @@ def im2col(
     # windows: (N, C, OH', OW', K, K) view, then stride over OH'/OW'.
     windows = np.lib.stride_tricks.sliding_window_view(x, (kernel, kernel), axis=(2, 3))
     windows = windows[:, :, ::stride, ::stride, :, :]
-    # -> (N, OH, OW, C, K, K) -> (N*OH*OW, C*K*K)
+    # -> (N, OH, OW, C, K, K) -> (N*OH*OW, C*K*K). The reshape of the
+    # transposed (non-contiguous) view cannot be expressed as a stride
+    # change, so it already materializes a fresh C-contiguous array — the
+    # one copy the GEMM needs (pinned by tests/nn/test_im2col.py).
     cols = windows.transpose(0, 2, 3, 1, 4, 5).reshape(n * out_h * out_w, c * kernel * kernel)
-    return np.ascontiguousarray(cols), (out_h, out_w)
+    return cols, (out_h, out_w)
 
 
 def col2im(

@@ -1,0 +1,203 @@
+"""Unit tests: blocked kernels' edges, the tuner, and the thread knob."""
+
+import numpy as np
+import pytest
+
+from repro.config import KERNEL_THREADS_ENV, kernel_threads
+from repro.errors import ShapeError
+from repro.hw.spec import HardwareSpec
+from repro.kernels.blocked import (
+    blocked_affine_normalize,
+    blocked_bn_input_grad_transform,
+    blocked_normalize_apply,
+    blocked_onepass_stats,
+)
+from repro.kernels.bf16 import bf16_round
+from repro.kernels.bn_stats import onepass_stats
+from repro.kernels.tune import (
+    choose_block_batch,
+    choose_block_channels,
+    clear_tuning_cache,
+    detect_local_llc_bytes,
+    local_hardware_spec,
+)
+from repro.nn.batchnorm import BatchNorm2d
+
+
+def _spec(llc_bytes):
+    return HardwareSpec(
+        name=f"test-{llc_bytes}", peak_flops=1e12, elementwise_ops=5e11,
+        dram_bandwidth=5e10, llc_bytes=llc_bytes, cache_fit_fraction=0.5,
+    )
+
+
+SHAPE = (4, 16, 8, 8)
+
+
+def _x(shape=SHAPE, dtype=np.float32, seed=3):
+    return np.random.default_rng(seed).normal(0, 1.5, shape).astype(dtype)
+
+
+class TestTuner:
+    def test_local_llc_detected_positive(self):
+        assert detect_local_llc_bytes() > 0
+        assert local_hardware_spec().llc_bytes == detect_local_llc_bytes()
+
+    def test_tiny_cache_floors_at_one_channel(self):
+        clear_tuning_cache()
+        bc = choose_block_channels(SHAPE, np.float32, np.float64,
+                                   hw=_spec(1 << 10))
+        assert bc == 1
+
+    def test_huge_cache_takes_all_channels(self):
+        clear_tuning_cache()
+        bc = choose_block_channels(SHAPE, np.float32, np.float64,
+                                   hw=_spec(1 << 32))
+        assert bc == SHAPE[1]
+
+    def test_block_monotone_in_cache_size(self):
+        clear_tuning_cache()
+        shape = (32, 256, 28, 28)
+        sizes = [1 << 20, 8 << 20, 64 << 20, 1 << 30]
+        choices = [
+            choose_block_channels(shape, np.float32, np.float64,
+                                  hw=_spec(s))
+            for s in sizes
+        ]
+        assert choices == sorted(choices)
+        assert all(1 <= c <= shape[1] for c in choices)
+
+    def test_threads_split_the_budget_and_the_axis(self):
+        clear_tuning_cache()
+        shape = (32, 64, 28, 28)
+        solo = choose_block_channels(shape, np.float32, np.float64,
+                                     hw=_spec(64 << 20), threads=1)
+        team = choose_block_channels(shape, np.float32, np.float64,
+                                     hw=_spec(64 << 20), threads=4)
+        assert team <= solo
+        assert team <= -(-shape[1] // 4) * 4  # still covers the axis
+
+    def test_batch_chooser_floors_and_caps(self):
+        clear_tuning_cache()
+        assert choose_block_batch(SHAPE, np.float32, np.float32,
+                                  hw=_spec(1 << 10)) == 1
+        assert choose_block_batch(SHAPE, np.float32, np.float32,
+                                  hw=_spec(1 << 32)) == SHAPE[0]
+
+
+class TestBlockedEdges:
+    def test_non_nchw_raises(self):
+        with pytest.raises(ShapeError):
+            blocked_onepass_stats(np.zeros((3, 4)))
+
+    def test_nonpositive_block_raises(self):
+        with pytest.raises(ShapeError):
+            blocked_onepass_stats(_x(), block_channels=0)
+
+    def test_block_larger_than_axis_delegates(self):
+        x = _x()
+        m_ref, v_ref = onepass_stats(x)
+        m, v = blocked_onepass_stats(x, block_channels=10_000)
+        assert np.array_equal(m_ref, m) and np.array_equal(v_ref, v)
+
+    def test_out_reused_and_returned(self):
+        x = _x()
+        c = x.shape[1]
+        mean, var = onepass_stats(x)
+        inv_std = (1.0 / np.sqrt(var + 1e-5)).astype(np.float32)
+        gamma, beta = np.ones(c, np.float32), np.zeros(c, np.float32)
+        out = np.empty_like(x)
+        got = blocked_normalize_apply(x, mean.astype(np.float32), inv_std,
+                                      gamma, beta, out=out)
+        assert got is out
+
+    def test_out_shape_dtype_validated(self):
+        x = _x()
+        c = x.shape[1]
+        mean, var = onepass_stats(x)
+        inv_std = (1.0 / np.sqrt(var + 1e-5)).astype(np.float32)
+        gamma, beta = np.ones(c, np.float32), np.zeros(c, np.float32)
+        with pytest.raises(ShapeError):
+            blocked_normalize_apply(x, mean.astype(np.float32), inv_std,
+                                    gamma, beta,
+                                    out=np.empty_like(x)[:, :2])
+        with pytest.raises(ShapeError):
+            blocked_normalize_apply(x, mean.astype(np.float32), inv_std,
+                                    gamma, beta,
+                                    out=np.empty(x.shape, np.float64))
+
+    def test_grad_transform_shape_mismatch_raises(self):
+        x = _x()
+        c = x.shape[1]
+        vec = np.ones(c, np.float32)
+        with pytest.raises(ShapeError):
+            blocked_bn_input_grad_transform(
+                _x((2, 16, 8, 8)), x, vec, vec, vec, vec, vec, 1e-5
+            )
+
+    def test_affine_normalize_matches_batchnorm_module(self):
+        """The wired path: BatchNorm2d.normalize rides the blocked apply."""
+        x = _x()
+        bn = BatchNorm2d(x.shape[1])
+        mean = bn.compute_mean(x)
+        var = bn.compute_var(x, mean)
+        y = bn.normalize(x, mean, var)
+        y2 = blocked_affine_normalize(
+            x, mean, var, bn.gamma.data, bn.beta.data, bn.eps
+        )
+        assert np.array_equal(y, y2)
+        assert bn._inv_std is not None  # backward caches intact
+
+
+class TestThreadKnob:
+    def test_default_is_serial(self, monkeypatch):
+        monkeypatch.delenv(KERNEL_THREADS_ENV, raising=False)
+        assert kernel_threads() == 1
+
+    def test_env_parsed_and_clamped(self, monkeypatch):
+        monkeypatch.setenv(KERNEL_THREADS_ENV, "4")
+        assert kernel_threads() == 4
+        monkeypatch.setenv(KERNEL_THREADS_ENV, "-2")
+        assert kernel_threads() == 1
+
+    def test_garbage_env_raises(self, monkeypatch):
+        monkeypatch.setenv(KERNEL_THREADS_ENV, "many")
+        with pytest.raises(ValueError):
+            kernel_threads()
+
+    def test_env_threads_bit_identical(self, monkeypatch):
+        x = _x((4, 12, 8, 8))
+        m_ref, v_ref = onepass_stats(x)
+        monkeypatch.setenv(KERNEL_THREADS_ENV, "3")
+        m, v = blocked_onepass_stats(x, block_channels=2)
+        assert np.array_equal(m_ref, m) and np.array_equal(v_ref, v)
+
+
+class TestBf16RoundOut:
+    def test_out_matches_fresh_allocation(self):
+        x = _x((2, 3, 4, 4)) * 100
+        out = np.empty(x.shape, np.float32)
+        got = bf16_round(x, out=out)
+        assert got is out
+        assert np.array_equal(bf16_round(x), out)
+
+    def test_bad_out_rejected(self):
+        x = _x((2, 3, 4, 4))
+        with pytest.raises(ShapeError):
+            bf16_round(x, out=np.empty((2, 3), np.float32))
+        with pytest.raises(ShapeError):
+            bf16_round(x, out=np.empty(x.shape, np.float64))
+        with pytest.raises(ShapeError):  # non-C-contiguous
+            bf16_round(x, out=np.asfortranarray(
+                np.empty(x.shape, np.float32)))
+
+    def test_aliasing_out_rejected(self):
+        x = _x((2, 3, 4, 4))
+        with pytest.raises(ShapeError):
+            bf16_round(x, out=x)
+
+    def test_nan_restored_through_out(self):
+        x = np.array([1.0, np.nan, -2.5], dtype=np.float32)
+        out = np.empty(3, np.float32)
+        got = bf16_round(x, out=out)
+        assert np.isnan(got[1]) and not np.isnan(got[0])

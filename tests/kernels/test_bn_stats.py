@@ -116,3 +116,31 @@ class TestValidation:
         x = rng(5).normal(size=(2, 2, 3, 3)).astype(np.float32)
         m, v = onepass_stats(x)
         assert m.dtype == np.float32 and v.dtype == np.float32
+
+
+class TestSingleUpcastSweep:
+    """Pin satellite behaviour: onepass reuses one upcast array for both
+    reductions, and that is bit-identical to summing the narrow input
+    with a wide dtype= (numpy upcasts exactly; the pairwise reduction
+    order over the contiguous layout is unchanged)."""
+
+    @pytest.mark.parametrize("storage", [np.float32, np.float16])
+    @pytest.mark.parametrize("acc", [np.float32, np.float64])
+    def test_reused_upcast_is_bit_identical_to_direct_reduce(
+        self, storage, acc
+    ):
+        if np.dtype(acc).itemsize < np.dtype(storage).itemsize:
+            pytest.skip("accumulator narrower than storage is rejected")
+        x = rng(21).normal(0.0, 2.0, size=(4, 6, 9, 9)).astype(storage)
+        m, v = onepass_stats(x, accumulate_dtype=acc)
+        a = np.dtype(acc)
+        s1 = x.sum(axis=(0, 2, 3), dtype=a)
+        xa = x.astype(a)
+        s2 = (xa * xa).sum(axis=(0, 2, 3), dtype=a)
+        n = x.shape[0] * x.shape[2] * x.shape[3]
+        mean = s1 / n
+        var = np.maximum(s2 / n - mean * mean, a.type(0.0))
+        from repro.config import stat_dtype
+        out = stat_dtype(x.dtype)
+        np.testing.assert_array_equal(m, mean.astype(out))
+        np.testing.assert_array_equal(v, var.astype(out))

@@ -1,0 +1,96 @@
+"""Tests for the measured-vs-predicted roofline helpers."""
+
+import numpy as np
+import pytest
+
+from repro.hw.spec import HardwareSpec
+from repro.kernels.tune import clear_tuning_cache
+from repro.perf.measured import (
+    best_of,
+    kernel_wall_record,
+    predicted_bn_forward_ratio,
+    predicted_normalize_traffic,
+    predicted_stats_traffic,
+)
+
+
+def _spec(llc_bytes):
+    return HardwareSpec(
+        name=f"probe-{llc_bytes}", peak_flops=1e12, elementwise_ops=5e11,
+        dram_bandwidth=5e10, llc_bytes=llc_bytes, cache_fit_fraction=0.5,
+    )
+
+
+class TestPredictedTraffic:
+    def test_resident_temporaries_predict_no_win(self):
+        clear_tuning_cache()
+        t = predicted_stats_traffic((2, 4, 8, 8), np.float32, np.float64,
+                                    hw=_spec(1 << 30))
+        assert t.ratio == pytest.approx(1.0)
+
+    def test_spilled_temporaries_predict_win(self):
+        clear_tuning_cache()
+        # 8MB fp32 input, 16MB fp64 temporaries, 1MB budget: both naive
+        # temporaries spill (write + read each), blocked streams once.
+        t = predicted_stats_traffic((8, 64, 64, 64), np.float32,
+                                    np.float64, hw=_spec(2 << 20))
+        assert t.ratio > 2.0
+        assert t.naive_bytes > t.blocked_bytes
+
+    def test_ratio_grows_with_accumulator_width(self):
+        clear_tuning_cache()
+        shape = (8, 64, 64, 64)
+        narrow = predicted_stats_traffic(shape, np.float32, np.float32,
+                                         hw=_spec(2 << 20))
+        wide = predicted_stats_traffic(shape, np.float32, np.float64,
+                                       hw=_spec(2 << 20))
+        assert wide.ratio > narrow.ratio
+
+    def test_normalize_traffic_floor_is_read_plus_write(self):
+        clear_tuning_cache()
+        shape = (8, 64, 64, 64)
+        t = predicted_normalize_traffic(shape, np.float32, np.float32,
+                                        hw=_spec(2 << 20))
+        nelems = int(np.prod(shape))
+        assert t.blocked_bytes >= 2 * nelems * 4
+        assert t.ratio >= 1.0
+
+    def test_relu_adds_naive_traffic_only(self):
+        clear_tuning_cache()
+        shape = (8, 64, 64, 64)
+        plain = predicted_normalize_traffic(shape, np.float32, np.float32,
+                                            hw=_spec(2 << 20))
+        fused = predicted_normalize_traffic(shape, np.float32, np.float32,
+                                            hw=_spec(2 << 20), relu=True)
+        assert fused.naive_bytes > plain.naive_bytes
+        assert fused.blocked_bytes == plain.blocked_bytes
+
+
+class TestPredictedBnForward:
+    def test_mvf_never_slower_than_baseline(self):
+        assert predicted_bn_forward_ratio((32, 64, 28, 28)) >= 1.0
+
+    def test_spilling_shape_predicts_sweep_merge(self):
+        # On a 1MB-LLC machine the feature map spills, so dropping one of
+        # three reads must show up in the ratio.
+        r = predicted_bn_forward_ratio((32, 64, 28, 28), hw=_spec(1 << 20))
+        assert r > 1.1
+
+
+class TestTimingHelpers:
+    def test_best_of_returns_positive_seconds(self):
+        assert 0 < best_of(lambda: sum(range(100)), repeats=2) < 1.0
+
+    def test_kernel_wall_record_shape(self):
+        rec = kernel_wall_record(
+            "probe", (2, 3, 4, 4), np.float32,
+            naive_fn=lambda: None, blocked_fn=lambda: None,
+            predicted=2.5, repeats=1,
+        )
+        assert rec["kernel"] == "probe"
+        assert rec["shape"] == [2, 3, 4, 4]
+        assert rec["dtype"] == "float32"
+        assert rec["predicted_ratio"] == 2.5
+        assert rec["naive_s"] > 0 and rec["blocked_s"] > 0
+        assert rec["measured_ratio"] == pytest.approx(
+            rec["naive_s"] / rec["blocked_s"])

@@ -92,6 +92,14 @@ def kernel_threads() -> int:
     return max(1, n)
 
 
+#: Environment hook for the deterministic fault-injection harness
+#: (:mod:`repro.faults`). When set, it holds a JSON-serialized
+#: ``FaultPlan``; the sweep runner's pool-worker initializer installs it,
+#: so chaos tests can kill/raise/stall inside *real* forked workers. Unset
+#: (the production state) every injection site is a single branch.
+FAULT_PLAN_ENV = "REPRO_FAULT_PLAN"
+
+
 def rng(seed: int | None = None) -> np.random.Generator:
     """Return a seeded :class:`numpy.random.Generator`.
 

@@ -43,3 +43,35 @@ class SweepSpecError(ReproError, ValueError):
 class PrecisionError(ReproError, ValueError):
     """A kernel or tensor was asked to run at an unsupported precision,
     or with an accumulate dtype narrower than the contract allows."""
+
+
+class SweepExecutionError(ReproError):
+    """A sweep run could not price every cell — retries were exhausted
+    *and* the serial in-process degrade path failed too.
+
+    Carries the content keys of the cells left unpriced (``cell_keys``)
+    and, when raised by the supervised runner, the run's
+    :class:`~repro.sweep.retry.FailureReport` (``report``) describing
+    every recovery step that was attempted first.
+    """
+
+    def __init__(self, message: str, cell_keys=(), report=None):
+        super().__init__(message)
+        self.cell_keys = tuple(cell_keys)
+        self.report = report
+
+    def __reduce__(self):
+        # Exceptions with extra constructor state need an explicit
+        # recipe to survive the multiprocessing result queue.
+        return (type(self), (self.args[0], self.cell_keys, self.report))
+
+
+class CellPricingError(SweepExecutionError):
+    """Pricing one cell raised; ``cell_keys`` names the cell(s) affected.
+
+    Pool workers normalize arbitrary pricer exceptions into this type
+    before shipping them back — it is always picklable and always says
+    *which* cell failed, so the supervisor can retry exactly the
+    surviving remainder of a bundle.
+    """
+

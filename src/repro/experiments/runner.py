@@ -51,17 +51,35 @@ def _add_session_args(parser: argparse.ArgumentParser) -> None:
                         help="cap the on-disk sweep cache at this many "
                              "megabytes (least-recently-used entries are "
                              "evicted; default: unbounded)")
+    parser.add_argument("--retry-attempts", type=int, default=None,
+                        metavar="N",
+                        help="pool attempts per cell group before it "
+                             "degrades to serial in-process pricing "
+                             "(default: 3; see docs/robustness.md)")
+    parser.add_argument("--bundle-timeout", type=float, default=None,
+                        metavar="SECONDS",
+                        help="wall-time budget for one parallel bundle "
+                             "attempt; on expiry the pool is re-forked and "
+                             "the bundle retried (default: no timeout)")
 
 
 def _make_session(args: argparse.Namespace):
-    from repro.sweep import SweepSession
+    from repro.sweep import RetryPolicy, SweepSession
 
     max_bytes = (int(args.cache_max_mb * (1 << 20))
                  if args.cache_max_mb else None)
+    retry = None
+    if args.retry_attempts is not None or args.bundle_timeout is not None:
+        retry = RetryPolicy(
+            max_attempts=(args.retry_attempts
+                          if args.retry_attempts is not None else 3),
+            bundle_timeout_s=args.bundle_timeout,
+        )
     return SweepSession(
         workers=args.workers,
         cache_dir=None if args.no_persist else args.cache_dir,
         max_cache_bytes=max_bytes,
+        retry=retry,
     )
 
 
@@ -154,6 +172,9 @@ def sweep_main(argv: List[str]) -> int:
     print(f"\ncells: {len(store)}  priced: {stats.cost_misses} ({where})  "
           f"cache hits: {stats.cost_hits} memory + "
           f"{stats.cost_disk_hits} disk")
+    report = session.last_report
+    if report is not None and not report.clean:
+        print(report.summary(), file=sys.stderr)
     return 0
 
 
@@ -178,6 +199,19 @@ def serve_main(argv: List[str]) -> int:
                         help="executor threads pricing cold cells "
                              "(default: 1; coalescing and the cache, not "
                              "thread parallelism, carry the load)")
+    parser.add_argument("--deadline-s", type=float, default=None,
+                        metavar="SECONDS",
+                        help="service-wide per-request deadline; expiry "
+                             "returns 504 without cancelling coalesced "
+                             "work (default: none)")
+    parser.add_argument("--breaker-threshold", type=int, default=5,
+                        metavar="K",
+                        help="consecutive pricing failures that open the "
+                             "circuit breaker (default: 5)")
+    parser.add_argument("--breaker-reset-s", type=float, default=1.0,
+                        metavar="SECONDS",
+                        help="open-breaker window before a single "
+                             "half-open probe is admitted (default: 1.0)")
     _add_session_args(parser)
     args = parser.parse_args(argv)
 
@@ -198,7 +232,10 @@ def serve_main(argv: List[str]) -> int:
 
     with _make_session(args) as session, \
             CostService(session, max_pending=args.max_pending,
-                        pricing_threads=args.pricing_threads) as service:
+                        pricing_threads=args.pricing_threads,
+                        deadline_s=args.deadline_s,
+                        breaker_threshold=args.breaker_threshold,
+                        breaker_reset_s=args.breaker_reset_s) as service:
         try:
             asyncio.run(_run())
         except KeyboardInterrupt:

@@ -1,0 +1,47 @@
+"""Deterministic fault-injection harness for the sweep runtime.
+
+See :mod:`repro.faults.plan` for the full model. Typical chaos-test use::
+
+    from repro import faults
+
+    plan = faults.FaultPlan(
+        [faults.FaultRule(site="worker.bundle", action="kill",
+                          total=1, scope="worker")],
+        state_dir=str(tmp_path / "fault_state"),
+    )
+    with faults.injected(plan, environ=os.environ):
+        result = session.run(grid)   # one real worker dies; the sweep
+                                     # retries and completes anyway
+"""
+
+from repro.faults.plan import (
+    ACTIONS,
+    KILL_EXIT_CODE,
+    SCOPES,
+    SITES,
+    FaultPlan,
+    FaultRule,
+    InjectedFault,
+    active_plan,
+    fire,
+    injected,
+    install,
+    install_from_env,
+    uninstall,
+)
+
+__all__ = [
+    "ACTIONS",
+    "FaultPlan",
+    "FaultRule",
+    "InjectedFault",
+    "KILL_EXIT_CODE",
+    "SCOPES",
+    "SITES",
+    "active_plan",
+    "fire",
+    "injected",
+    "install",
+    "install_from_env",
+    "uninstall",
+]

@@ -1,0 +1,297 @@
+"""Deterministic fault injection for chaos-testing the sweep runtime.
+
+A :class:`FaultPlan` is a declarative, seeded list of :class:`FaultRule`
+entries, each naming an **injection site** (a string the runtime fires at
+well-known points — see :data:`SITES`), an **action** (raise, raise an
+``OSError`` with a chosen errno, kill the process, or delay), and a
+deterministic trigger window (fire on the Nth hit of the site, for M
+consecutive hits). There is no probability anywhere: the same plan over
+the same workload injects the same faults every run, which is what lets
+the chaos suite pin every injected failure mode to its exact recovery
+behavior.
+
+Injection sites are plain function calls (:func:`fire`); with no plan
+installed, a fire is a single ``None`` check — the production cost of
+carrying the hooks is one branch per site.
+
+Three installation paths:
+
+* :func:`install` / :func:`uninstall` — this process, directly;
+* :func:`injected` — a context manager for tests (always uninstalls);
+* the **env hook** — :meth:`FaultPlan.to_env` serializes the plan into
+  ``REPRO_FAULT_PLAN`` (:data:`repro.config.FAULT_PLAN_ENV`), and the
+  sweep runner's worker initializer calls :func:`install_from_env`, so a
+  chaos test exercises the *real* multiprocessing path: real forked
+  workers read the plan from their inherited environment and genuinely
+  die / raise / stall inside ``Pool`` dispatch.
+
+Cross-process one-shot semantics: a rule with ``total=N`` and a plan
+``state_dir`` claims one token file (``O_CREAT | O_EXCL`` — atomic on
+every platform we run on) per firing, so "kill a worker on the first
+bundle, once" fires exactly once across however many worker generations
+the supervisor re-forks — without it, every replacement worker would
+re-read the env plan with fresh counters and die again forever.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, Mapping, MutableMapping, Optional, Sequence, Tuple
+
+import contextlib
+import errno as errno_module
+
+from repro.config import FAULT_PLAN_ENV
+
+#: The injection sites the runtime fires today. Site names are free-form
+#: strings (a rule matching an unknown site simply never fires), but
+#: these are the wired ones:
+#:
+#: * ``worker.bundle`` — start of each affinity bundle inside a pool
+#:   worker (:func:`repro.sweep.runner._price_bundle_in_worker`);
+#: * ``pricer.compute`` — a genuinely cold cell pricing, inside the
+#:   cache's compute callback (:func:`repro.sweep.runner.price_cell`);
+#: * ``cache.store`` — a persistent-cache store, inside the degrade
+#:   guard (:meth:`repro.sweep.persist.PersistentCache.store`).
+SITES: Tuple[str, ...] = ("worker.bundle", "pricer.compute", "cache.store")
+
+ACTIONS: Tuple[str, ...] = ("raise", "oserror", "kill", "delay")
+SCOPES: Tuple[str, ...] = ("any", "worker", "parent")
+
+#: Exit status of an injected ``kill`` — mirrors SIGKILL's shell status
+#: so a killed worker is indistinguishable from an OOM kill.
+KILL_EXIT_CODE = 137
+
+
+class InjectedFault(RuntimeError):
+    """The exception an ``action="raise"`` rule throws at its site."""
+
+
+def _in_worker() -> bool:
+    """True inside a multiprocessing pool worker (daemonic child)."""
+    proc = multiprocessing.current_process()
+    return bool(proc.daemon) or proc.name != "MainProcess"
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """One deterministic fault: where, what, and on which hits.
+
+    ``at`` arms the rule on the Nth hit of its site (1-based, counted
+    per process); ``times`` keeps it firing for that many consecutive
+    hits. ``total`` caps firings globally across processes (enforced via
+    the plan's ``state_dir`` token files when set; per-process
+    otherwise). ``scope`` restricts firing to pool workers or to the
+    parent, so a chaos test can break workers while the parent's
+    degrade path stays healthy.
+    """
+
+    site: str
+    action: str
+    at: int = 1
+    times: int = 1
+    total: Optional[int] = None
+    scope: str = "any"
+    message: str = "injected fault"
+    errno: int = errno_module.ENOSPC
+    delay_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.action not in ACTIONS:
+            raise ValueError(
+                f"unknown fault action {self.action!r}; available: {ACTIONS}"
+            )
+        if self.scope not in SCOPES:
+            raise ValueError(
+                f"unknown fault scope {self.scope!r}; available: {SCOPES}"
+            )
+        if self.at < 1:
+            raise ValueError(f"'at' is a 1-based hit index, got {self.at}")
+        if self.times < 1:
+            raise ValueError(f"'times' must be >= 1, got {self.times}")
+        if self.total is not None and self.total < 1:
+            raise ValueError(f"'total' must be >= 1, got {self.total}")
+        if self.delay_s < 0:
+            raise ValueError(f"'delay_s' must be >= 0, got {self.delay_s}")
+
+    def in_window(self, hit: int) -> bool:
+        """Does the *hit*-th hit of this site fall in the firing window?"""
+        return self.at <= hit < self.at + self.times
+
+    def scope_ok(self) -> bool:
+        if self.scope == "any":
+            return True
+        return _in_worker() if self.scope == "worker" else not _in_worker()
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "site": self.site, "action": self.action, "at": self.at,
+            "times": self.times, "total": self.total, "scope": self.scope,
+            "message": self.message, "errno": self.errno,
+            "delay_s": self.delay_s,
+        }
+
+
+class FaultPlan:
+    """A seeded set of fault rules plus the per-process firing state.
+
+    Hit counters are per-process (each pool worker deserializes its own
+    plan from the environment, so each counts its own hits — "kill on
+    the Nth bundle" means the Nth bundle *that worker* runs). The
+    ``seed`` deterministically jitters ``delay`` actions (±10%) so
+    injected stalls don't beat in lockstep across workers; everything
+    else is exact.
+    """
+
+    def __init__(self, rules: Sequence[FaultRule], seed: int = 0,
+                 state_dir: Optional[str] = None):
+        self.rules: Tuple[FaultRule, ...] = tuple(rules)
+        self.seed = int(seed)
+        self.state_dir = state_dir
+        for rule in self.rules:
+            if rule.total is not None and state_dir is None:
+                raise ValueError(
+                    "a rule with a cross-process 'total' cap needs the "
+                    "plan's state_dir (token files enforce the cap)"
+                )
+        self._hits: Dict[str, int] = {}
+        self._fired: Dict[int, int] = {}
+        self._rng = random.Random(f"{self.seed}:{os.getpid()}")
+
+    # -- firing --------------------------------------------------------------
+    def fire(self, site: str, **info: object) -> None:
+        """Hit *site* once; trigger every matching armed rule.
+
+        ``info`` is advisory context from the call site (cell keys,
+        counts); rules match on the site name alone.
+        """
+        hit = self._hits[site] = self._hits.get(site, 0) + 1
+        for index, rule in enumerate(self.rules):
+            if rule.site != site or not rule.in_window(hit):
+                continue
+            if not rule.scope_ok() or not self._claim(index, rule):
+                continue
+            self._trigger(rule, site)
+
+    def _claim(self, index: int, rule: FaultRule) -> bool:
+        """Reserve one firing of *rule*; False when its caps are spent."""
+        fired = self._fired.get(index, 0)
+        if rule.total is None:
+            self._fired[index] = fired + 1
+            return True
+        if self.state_dir is None:  # pragma: no cover - ctor forbids it
+            return False
+        os.makedirs(self.state_dir, exist_ok=True)
+        for k in range(rule.total):
+            token = os.path.join(self.state_dir, f"rule{index}.fire{k}")
+            try:
+                fd = os.open(token, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+            except FileExistsError:
+                continue
+            with os.fdopen(fd, "w") as fh:
+                fh.write(str(os.getpid()))
+            self._fired[index] = fired + 1
+            return True
+        return False
+
+    def _trigger(self, rule: FaultRule, site: str) -> None:
+        if rule.delay_s:
+            time.sleep(rule.delay_s * (1 + 0.1 * (2 * self._rng.random() - 1)))
+        if rule.action == "delay":
+            return
+        if rule.action == "kill":
+            # A crash, not an exception: no cleanup, no result sent back —
+            # exactly what an OOM kill looks like to the supervisor.
+            os._exit(KILL_EXIT_CODE)
+        detail = f"{rule.message} [injected at {site}]"
+        if rule.action == "oserror":
+            raise OSError(rule.errno, detail)
+        raise InjectedFault(detail)
+
+    # -- serialization (the env hook) ----------------------------------------
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "seed": self.seed,
+            "state_dir": self.state_dir,
+            "rules": [rule.as_dict() for rule in self.rules],
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.as_dict(), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, blob: str) -> "FaultPlan":
+        data = json.loads(blob)
+        rules = [FaultRule(**raw) for raw in data.get("rules", [])]
+        return cls(rules, seed=data.get("seed", 0),
+                   state_dir=data.get("state_dir"))
+
+    def to_env(self, environ: MutableMapping[str, str] = os.environ) -> None:
+        """Publish this plan for child processes (see the module doc)."""
+        environ[FAULT_PLAN_ENV] = self.to_json()
+
+    @classmethod
+    def from_env(
+        cls, environ: Mapping[str, str] = os.environ
+    ) -> Optional["FaultPlan"]:
+        blob = environ.get(FAULT_PLAN_ENV)
+        return cls.from_json(blob) if blob else None
+
+
+# -- the process-global active plan -------------------------------------------
+_ACTIVE: Optional[FaultPlan] = None
+
+
+def active_plan() -> Optional[FaultPlan]:
+    return _ACTIVE
+
+
+def install(plan: FaultPlan) -> FaultPlan:
+    """Make *plan* the process's active plan (replacing any current one)."""
+    global _ACTIVE
+    _ACTIVE = plan
+    return plan
+
+
+def uninstall() -> None:
+    global _ACTIVE
+    _ACTIVE = None
+
+
+def install_from_env(
+    environ: Mapping[str, str] = os.environ,
+) -> Optional[FaultPlan]:
+    """Install the env-published plan, if any (worker initializers call
+    this so chaos reaches real forked pool workers)."""
+    plan = FaultPlan.from_env(environ)
+    if plan is not None:
+        install(plan)
+    return plan
+
+
+@contextlib.contextmanager
+def injected(plan: FaultPlan,
+             environ: Optional[MutableMapping[str, str]] = None
+             ) -> Iterator[FaultPlan]:
+    """Install *plan* (and optionally publish it to *environ* for child
+    processes) for the duration of a block; always uninstalls on exit."""
+    install(plan)
+    if environ is not None:
+        plan.to_env(environ)
+    try:
+        yield plan
+    finally:
+        uninstall()
+        if environ is not None:
+            environ.pop(FAULT_PLAN_ENV, None)
+
+
+def fire(site: str, **info: object) -> None:
+    """Hit an injection site on the active plan; no-op without one."""
+    if _ACTIVE is not None:
+        _ACTIVE.fire(site, **info)

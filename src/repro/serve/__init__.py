@@ -7,7 +7,10 @@ this package serves that capability to many concurrent clients:
 * :class:`CostService` — the asyncio core: request coalescing (per-key
   in-flight futures; overlapping grids share one compute), synchronous
   warm hits, bounded backpressure on cold misses
-  (:class:`ServiceOverloaded` -> shed with retry-after);
+  (:class:`ServiceOverloaded` -> shed with retry-after), per-request
+  deadlines (:class:`DeadlineExceeded`) and a consecutive-failure
+  :class:`CircuitBreaker` that degrades ``/healthz`` and sheds cold
+  misses while the pricer is broken (see ``docs/robustness.md``);
 * :class:`HttpServer` / :func:`serve` — a dependency-free JSON-over-HTTP
   front end (``POST /price``, ``GET /stats``, ``GET /healthz``);
 * :class:`ServingClient` — the matching synchronous client
@@ -22,7 +25,13 @@ lock-striped — see ``docs/serving.md`` for the cache-sharing contract).
 
 from repro.serve.client import RetryLater, ServingClient, ServingError
 from repro.serve.http import MAX_BODY_BYTES, HttpServer, serve
-from repro.serve.service import CostService, ServiceOverloaded, ServiceStats
+from repro.serve.service import (
+    CircuitBreaker,
+    CostService,
+    DeadlineExceeded,
+    ServiceOverloaded,
+    ServiceStats,
+)
 from repro.serve.wire import (
     cell_from_json,
     cell_to_json,
@@ -32,7 +41,9 @@ from repro.serve.wire import (
 )
 
 __all__ = [
+    "CircuitBreaker",
     "CostService",
+    "DeadlineExceeded",
     "HttpServer",
     "MAX_BODY_BYTES",
     "RetryLater",

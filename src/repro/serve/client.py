@@ -10,15 +10,21 @@ Two ways in:
   and load generators talking to a ``repro-experiments serve`` process.
 
 A shed response (``429``) surfaces as :class:`RetryLater` carrying the
-server's ``retry_after_s``; ``price_cells(retries=N)`` optionally sleeps
-and retries that many times before giving up — the client half of the
-shed-with-retry-after contract.
+server's ``retry_after_s``; ``price_cells(retries=N)`` optionally
+retries that many times before giving up — the client half of the
+shed-with-retry-after contract. Each retry sleeps the *larger* of the
+server's ``retry_after_s`` hint and a bounded exponential backoff
+(``backoff_base_s * backoff_factor**attempt``, capped at
+``backoff_max_s``), jittered by a seeded generator so a fleet of
+clients retrying the same shed doesn't re-stampede the server in
+lockstep — deterministically per client, so tests stay exact.
 """
 
 from __future__ import annotations
 
 import http.client
 import json
+import random
 import time
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Union
 
@@ -51,10 +57,42 @@ class ServingClient:
     """Synchronous JSON-over-HTTP client for one serving endpoint."""
 
     def __init__(self, host: str = "127.0.0.1", port: int = 8731,
-                 timeout_s: float = 60.0):
+                 timeout_s: float = 60.0,
+                 backoff_base_s: float = 0.05,
+                 backoff_factor: float = 2.0,
+                 backoff_max_s: float = 5.0,
+                 backoff_jitter: float = 0.1,
+                 seed: int = 0):
+        if backoff_base_s < 0 or backoff_max_s < 0:
+            raise ValueError("backoff bounds must be non-negative")
+        if backoff_factor < 1:
+            raise ValueError(
+                f"backoff_factor must be >= 1, got {backoff_factor}"
+            )
+        if not 0 <= backoff_jitter < 1:
+            raise ValueError(
+                f"backoff_jitter must be in [0, 1), got {backoff_jitter}"
+            )
         self.host = host
         self.port = port
         self.timeout_s = timeout_s
+        self.backoff_base_s = backoff_base_s
+        self.backoff_factor = backoff_factor
+        self.backoff_max_s = backoff_max_s
+        self.backoff_jitter = backoff_jitter
+        self.seed = seed
+        self._rng = random.Random(f"{seed}:{host}:{port}")
+
+    def backoff_s(self, attempt: int, hint_s: float = 0.0) -> float:
+        """Sleep before retry *attempt* (0-based), honoring the server
+        hint but never exceeding ``backoff_max_s``."""
+        delay = min(
+            self.backoff_max_s,
+            max(hint_s, self.backoff_base_s * self.backoff_factor ** attempt),
+        )
+        if self.backoff_jitter:
+            delay *= 1 + self.backoff_jitter * (2 * self._rng.random() - 1)
+        return delay
 
     # -- transport -----------------------------------------------------------
     def _request(self, method: str, path: str,
@@ -104,8 +142,9 @@ class ServingClient:
         """Price explicit cells; result rows in request order.
 
         ``retries`` > 0 turns a shed into up to that many sleep-and-retry
-        rounds (sleeping the server's own ``retry_after_s``) before the
-        final :class:`RetryLater` propagates.
+        rounds (bounded exponential backoff, floored at the server's own
+        ``retry_after_s`` hint — see :meth:`backoff_s`) before the final
+        :class:`RetryLater` propagates.
         """
         payload = {"cells": [
             cell_to_json(c) if isinstance(c, SweepCell) else dict(c)
@@ -128,5 +167,5 @@ class ServingClient:
             except RetryLater as shed:
                 if attempt >= retries:
                     raise
+                time.sleep(self.backoff_s(attempt, shed.retry_after_s))
                 attempt += 1
-                time.sleep(shed.retry_after_s)

@@ -12,11 +12,16 @@ framework. Three routes:
   ``{"results": [{cell, key, metrics}, ...]}`` in request order.
 
 Error mapping: malformed JSON or unknown axis values → ``400`` with the
-sweep layer's own message; shed by backpressure → ``429`` with a
-``Retry-After`` header and ``retry_after_s`` in the body; unknown route
-→ ``404``; anything else → ``500``. Connections are keep-alive by
-default (HTTP/1.1 semantics); bodies are capped at ``MAX_BODY_BYTES``
-(→ ``413``).
+sweep layer's own message; shed by backpressure *or an open circuit
+breaker* → ``429`` with a ``Retry-After`` header and ``retry_after_s``
+(plus ``reason``) in the body; an expired request deadline → ``504``;
+unknown route → ``404``; anything else → ``500``. ``GET /healthz``
+answers ``200 {"ok": true}`` only while the service's circuit breaker
+is closed — degraded gives ``503`` with a ``Retry-After`` of the
+breaker's remaining reset window. ``POST /price`` accepts an optional
+top-level ``"deadline_s"`` bounding that request's wall time.
+Connections are keep-alive by default (HTTP/1.1 semantics); bodies are
+capped at ``MAX_BODY_BYTES`` (→ ``413``).
 """
 
 from __future__ import annotations
@@ -27,7 +32,11 @@ import math
 from typing import Dict, Optional, Tuple
 
 from repro.errors import SweepSpecError
-from repro.serve.service import CostService, ServiceOverloaded
+from repro.serve.service import (
+    CostService,
+    DeadlineExceeded,
+    ServiceOverloaded,
+)
 from repro.serve.wire import cells_from_json, result_to_json
 
 #: Request-body cap: a 1M-cell grid request is a client bug, not a query.
@@ -37,7 +46,12 @@ _STATUS_TEXT = {
     200: "OK", 400: "Bad Request", 404: "Not Found",
     405: "Method Not Allowed", 413: "Payload Too Large",
     429: "Too Many Requests", 500: "Internal Server Error",
+    503: "Service Unavailable", 504: "Gateway Timeout",
 }
+
+
+def _retry_after_header(retry_after_s: float) -> Dict[str, str]:
+    return {"Retry-After": str(max(1, math.ceil(retry_after_s)))}
 
 
 class HttpServer:
@@ -155,7 +169,12 @@ class HttpServer:
         if path == "/healthz":
             if method != "GET":
                 return 405, {"error": "use GET"}, {}
-            return 200, {"ok": True}, {}
+            health = self.service.health()
+            if health.get("ok"):
+                return 200, health, {}
+            return 503, health, _retry_after_header(
+                float(health.get("retry_after_s", 1.0))
+            )
         if path == "/stats":
             if method != "GET":
                 return 405, {"error": "use GET"}, {}
@@ -170,19 +189,33 @@ class HttpServer:
     async def _price(self, body: bytes):
         try:
             payload = json.loads(body.decode("utf-8") or "null")
+            deadline_s = None
+            if isinstance(payload, dict) and payload.get(
+                "deadline_s"
+            ) is not None:
+                deadline_s = float(payload["deadline_s"])
             cells = cells_from_json(payload)
-            costs = await self.service.price_cells(cells)
+            costs = await self.service.price_cells(
+                cells, deadline_s=deadline_s
+            )
         except (json.JSONDecodeError, UnicodeDecodeError) as e:
             return 400, {"error": f"bad JSON: {e}"}, {}
-        except SweepSpecError as e:
+        except (SweepSpecError, ValueError, TypeError) as e:
             return 400, {"error": str(e)}, {}
         except ServiceOverloaded as e:
             return 429, {
                 "error": str(e),
                 "retry_after_s": e.retry_after_s,
+                "reason": e.reason,
                 "pending": e.pending,
                 "capacity": e.capacity,
-            }, {"Retry-After": str(max(1, math.ceil(e.retry_after_s)))}
+            }, _retry_after_header(e.retry_after_s)
+        except DeadlineExceeded as e:
+            return 504, {
+                "error": str(e),
+                "deadline_s": e.deadline_s,
+                "unresolved": e.unresolved,
+            }, {}
         except Exception as e:  # pricing bug: report, don't kill the server
             return 500, {"error": f"{type(e).__name__}: {e}"}, {}
         return 200, {

@@ -16,6 +16,7 @@ from repro.sweep.persist import (
     PersistentCache,
     shard_for,
 )
+from repro.sweep.retry import FailureReport, RetryPolicy
 from repro.sweep.runner import (
     INFINITE_BW_KINDS,
     SweepSession,
@@ -51,6 +52,7 @@ __all__ = [
     "CACHE_FORMAT_VERSION",
     "CacheStats",
     "CellGroup",
+    "FailureReport",
     "GraphCache",
     "INFINITE_BW_KINDS",
     "METRICS",
@@ -58,6 +60,7 @@ __all__ = [
     "PRECISION_DTYPES",
     "PersistStats",
     "PersistentCache",
+    "RetryPolicy",
     "SchedulePlan",
     "SweepCell",
     "SweepResult",

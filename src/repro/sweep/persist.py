@@ -16,7 +16,13 @@ Design constraints, in order:
 2. **Never fatal.** A truncated, corrupted, foreign-format or
    version-mismatched file is treated as a miss (and quarantined out of
    the way), degrading to a cold compute — a half-written cache can slow
-   a run down but can never crash it or skew its numbers.
+   a run down but can never crash it or skew its numbers. The same
+   applies to the *write* side: a store that fails with an ``OSError``
+   (disk full, permissions yanked, filesystem remounted read-only) puts
+   the cache in a **compute-only window** for ``store_retry_s`` seconds
+   — stores become no-ops (counted in ``stats.store_errors``, warned
+   once per cache instance), reads keep being served, and writing is
+   re-attempted after the window in case the disk recovered.
 3. **Safe under concurrency — many readers, many writers, many
    processes.** The directory is **sharded by key prefix**
    (``costs/<shard>/<key>.pkl``, 16 shards per kind) and every
@@ -54,10 +60,12 @@ import string
 import tempfile
 import threading
 import time
+import warnings
 import zlib
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Tuple
 
+from repro import faults
 from repro.graph.graph import LayerGraph
 from repro.perf.report import IterationCost
 
@@ -128,7 +136,8 @@ def _stripes_for(root: str) -> List[threading.RLock]:
 class PersistStats:
     """Disk-tier traffic counters (loads that hit, loads that missed,
     writes, files rejected as corrupt/incompatible, entries evicted by
-    the size/count caps, and quarantine/temp files purged by age)."""
+    the size/count caps, quarantine/temp files purged by age, and
+    stores dropped because the disk errored — see ``store_retry_s``)."""
 
     loads: int = 0
     load_misses: int = 0
@@ -136,6 +145,7 @@ class PersistStats:
     rejected: int = 0
     evicted: int = 0
     purged: int = 0
+    store_errors: int = 0
 
     def as_dict(self) -> Dict[str, int]:
         return dict(self.__dict__)
@@ -167,8 +177,11 @@ class PersistentCache:
     max_entries: Optional[int] = None
     rejected_retention_s: float = 24 * 3600.0
     gc_interval: int = _GC_STORE_INTERVAL
+    store_retry_s: float = 60.0
     stats: PersistStats = field(default_factory=PersistStats)
     _stores_since_gc: int = field(default=0, init=False, repr=False)
+    _store_degraded_until: float = field(default=0.0, init=False, repr=False)
+    _store_warned: bool = field(default=False, init=False, repr=False)
     _stats_lock: threading.Lock = field(
         default_factory=threading.Lock, init=False, repr=False, compare=False
     )
@@ -184,6 +197,10 @@ class PersistentCache:
         if self.gc_interval <= 0:
             raise ValueError(
                 f"gc_interval must be positive, got {self.gc_interval}"
+            )
+        if self.store_retry_s < 0:
+            raise ValueError(
+                f"store_retry_s must be >= 0, got {self.store_retry_s}"
             )
         self._stripes = _stripes_for(self.root)
 
@@ -264,45 +281,82 @@ class PersistentCache:
         concurrent processes counts as hot, not stale: without the
         touch, a concurrent GC could LRU-evict an entry between one
         process's existence check and another's read.
+
+        A failing disk never propagates: any ``OSError`` out of the
+        write path (ENOSPC, EROFS, EACCES...) drops this store, warns
+        once, and opens a compute-only window of ``store_retry_s``
+        seconds during which further stores are skipped outright.
         """
+        if self._store_degraded():
+            self._count("store_errors")
+            return
         path = self.path_for(kind, key)
         shard = shard_for(key)
-        with self._shard_lock(shard):
-            if os.path.exists(path):
+        try:
+            faults.fire("cache.store", kind=kind, key=key)
+            with self._shard_lock(shard):
+                if os.path.exists(path):
+                    try:
+                        os.utime(path)
+                    except OSError:
+                        pass
+                    return
+                payload = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+                envelope = pickle.dumps({
+                    "format": CACHE_FORMAT_VERSION,
+                    "kind": kind,
+                    "key": key,
+                    "sha256": hashlib.sha256(payload).hexdigest(),
+                    "payload": payload,
+                }, protocol=pickle.HIGHEST_PROTOCOL)
+                directory = os.path.dirname(path)
+                os.makedirs(directory, exist_ok=True)
+                fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
                 try:
-                    os.utime(path)
-                except OSError:
-                    pass
-                return
-            payload = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
-            envelope = pickle.dumps({
-                "format": CACHE_FORMAT_VERSION,
-                "kind": kind,
-                "key": key,
-                "sha256": hashlib.sha256(payload).hexdigest(),
-                "payload": payload,
-            }, protocol=pickle.HIGHEST_PROTOCOL)
-            directory = os.path.dirname(path)
-            os.makedirs(directory, exist_ok=True)
-            fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
-            try:
-                with os.fdopen(fd, "wb") as fh:
-                    fh.write(envelope)
-                os.replace(tmp, path)
-            except BaseException:
-                try:
-                    os.unlink(tmp)
-                except OSError:
-                    pass
-                raise
+                    with os.fdopen(fd, "wb") as fh:
+                        fh.write(envelope)
+                    os.replace(tmp, path)
+                except BaseException:
+                    try:
+                        os.unlink(tmp)
+                    except OSError:
+                        pass
+                    raise
+        except OSError as exc:
+            self._degrade_store(exc)
+            return
         self._count("stores")
         with self._stats_lock:
             self._stores_since_gc += 1
             due = (self._capped
                    and self._stores_since_gc >= self.gc_interval)
         if due:
-            # Outside the shard lock: gc takes shard locks itself.
-            self.gc()
+            # Outside the shard lock: gc takes shard locks itself. A
+            # failing disk degrades the write tier, same as the store.
+            try:
+                self.gc()
+            except OSError as exc:
+                self._degrade_store(exc)
+
+    def _store_degraded(self) -> bool:
+        """True while the write tier is inside a compute-only window."""
+        with self._stats_lock:
+            return time.monotonic() < self._store_degraded_until
+
+    def _degrade_store(self, exc: OSError) -> None:
+        """Open (or extend) the compute-only window after a disk error."""
+        self._count("store_errors")
+        with self._stats_lock:
+            self._store_degraded_until = time.monotonic() + self.store_retry_s
+            warned, self._store_warned = self._store_warned, True
+        if not warned:
+            warnings.warn(
+                f"persistent cache store failed ({exc}); degrading to "
+                f"compute-only for {self.store_retry_s:g}s "
+                f"(reads are unaffected)",
+                RuntimeWarning,
+                stacklevel=3,
+            )
 
     # -- garbage collection --------------------------------------------------
     @property

@@ -1,0 +1,143 @@
+"""Retry policy and failure accounting for supervised sweep execution.
+
+The supervised runner (:meth:`repro.sweep.runner.SweepSession.run`)
+treats every bundle dispatch as an *attempt*: a worker death, a bundle
+timeout or a pricer exception fails the attempt, and the
+:class:`RetryPolicy` decides whether the surviving cells go back to the
+pool (with bounded exponential backoff plus deterministic jitter) or
+degrade to serial in-process pricing. Everything the supervisor did to
+keep the sweep alive lands in a :class:`FailureReport`, so a run that
+recovered is distinguishable from one that never needed to.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.config import DEFAULT_SEED
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How the supervised runner reacts to failed bundle attempts.
+
+    ``max_attempts`` counts pool dispatches per cell group (the first
+    try included); cells still failing after the last pool attempt
+    degrade to serial in-process pricing in the parent. ``bundle_timeout_s``
+    bounds one attempt's wall time (``None`` disables the timeout; worker
+    deaths are still detected via the pool's process table). A timeout
+    re-forks the pool, since the stuck worker cannot be reclaimed.
+    ``death_grace_s`` is how long, after a worker death is observed, the
+    remaining in-flight bundles get to finish before the supervisor
+    declares them lost (the pool cannot say *which* bundle died with its
+    worker, so the grace window lets the innocent ones land first).
+
+    Backoff before the k-th retry (k >= 1) is
+    ``min(backoff_max_s, backoff_base_s * backoff_factor**(k-1))``,
+    jittered by ``±backoff_jitter`` (relative) with a generator seeded
+    from ``seed`` — deterministic for a given policy, decorrelated
+    across retry rounds.
+    """
+
+    max_attempts: int = 3
+    bundle_timeout_s: Optional[float] = None
+    death_grace_s: float = 5.0
+    backoff_base_s: float = 0.05
+    backoff_factor: float = 2.0
+    backoff_max_s: float = 2.0
+    backoff_jitter: float = 0.1
+    poll_interval_s: float = 0.02
+    seed: int = DEFAULT_SEED
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if self.bundle_timeout_s is not None and self.bundle_timeout_s <= 0:
+            raise ValueError(
+                f"bundle_timeout_s must be positive, got {self.bundle_timeout_s}"
+            )
+        if self.death_grace_s <= 0:
+            raise ValueError(
+                f"death_grace_s must be positive, got {self.death_grace_s}"
+            )
+        if self.backoff_base_s < 0 or self.backoff_max_s < 0:
+            raise ValueError("backoff bounds must be non-negative")
+        if self.backoff_factor < 1:
+            raise ValueError(
+                f"backoff_factor must be >= 1, got {self.backoff_factor}"
+            )
+        if not 0 <= self.backoff_jitter < 1:
+            raise ValueError(
+                f"backoff_jitter must be in [0, 1), got {self.backoff_jitter}"
+            )
+        if self.poll_interval_s <= 0:
+            raise ValueError(
+                f"poll_interval_s must be positive, got {self.poll_interval_s}"
+            )
+
+    def backoff_s(self, attempt: int,
+                  rng: Optional[random.Random] = None) -> float:
+        """Sleep before retrying after the *attempt*-th failure (1-based)."""
+        base = min(self.backoff_max_s,
+                   self.backoff_base_s * self.backoff_factor ** (attempt - 1))
+        if not self.backoff_jitter:
+            return base
+        rng = rng if rng is not None else random.Random(
+            f"{self.seed}:{attempt}"
+        )
+        return base * (1 + self.backoff_jitter * (2 * rng.random() - 1))
+
+
+@dataclass
+class FailureReport:
+    """What the supervisor survived while completing one sweep.
+
+    ``degraded_cells`` lists the content keys priced serially in the
+    parent after their pool attempts were exhausted — the sweep's
+    answers for them are still exact (pricing is deterministic pure
+    float math; only *where* it ran changed). ``errors`` keeps one
+    message per failed attempt, in observation order. A clean run is
+    all-zeros/empty (:attr:`clean`). Note that retried work can inflate
+    the session's cache-stats counters (a re-priced cell counts its
+    compute again); the report is the authoritative record of what went
+    wrong, the stats of what work was done.
+    """
+
+    worker_deaths: int = 0
+    timeouts: int = 0
+    retries: int = 0
+    retried_cells: int = 0
+    degraded_cells: List[str] = field(default_factory=list)
+    errors: List[str] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        """True iff the sweep needed no recovery at all."""
+        return not (self.worker_deaths or self.timeouts or self.retries
+                    or self.degraded_cells or self.errors)
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "worker_deaths": self.worker_deaths,
+            "timeouts": self.timeouts,
+            "retries": self.retries,
+            "retried_cells": self.retried_cells,
+            "degraded_cells": list(self.degraded_cells),
+            "errors": list(self.errors),
+        }
+
+    def summary(self) -> str:
+        """One human-readable line (CLI prints it after a dirty run)."""
+        if self.clean:
+            return "sweep completed cleanly"
+        return (
+            f"sweep recovered from {self.worker_deaths} worker death(s), "
+            f"{self.timeouts} timeout(s), {len(self.errors)} error(s): "
+            f"{self.retries} retry round(s) over {self.retried_cells} "
+            f"cell(s), {len(self.degraded_cells)} cell(s) degraded to "
+            f"serial pricing"
+        )

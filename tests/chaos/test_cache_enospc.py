@@ -1,0 +1,99 @@
+"""A full/broken disk degrades the cache's write tier, never the answers."""
+
+import os
+import warnings
+
+import pytest
+
+from tests.chaos.conftest import CHAOS_GRID, assert_bit_identical
+
+from repro import faults
+from repro.faults import FaultPlan, FaultRule
+from repro.sweep import (
+    PersistentCache,
+    RetryPolicy,
+    SweepSession,
+    enumerate_cells,
+)
+
+
+def test_store_enospc_degrades_to_compute_only(tmp_path):
+    cache = PersistentCache(str(tmp_path), store_retry_s=0.2)
+    cache.store_cost("aa" * 8, 1.25)  # published before the disk "fills"
+
+    plan = FaultPlan([FaultRule(site="cache.store", action="oserror",
+                                message="disk full")])
+    with faults.injected(plan):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            cache.store_cost("bb" * 8, 2.5)  # injected ENOSPC
+            cache.store_cost("cc" * 8, 3.0)  # inside the window: dropped
+    # Warned exactly once, both failures counted, nothing published.
+    assert [w for w in caught if issubclass(w.category, RuntimeWarning)]
+    assert len(caught) == 1
+    assert cache.stats.store_errors == 2
+    assert cache.load_cost("bb" * 8) is None
+
+    # Reads keep being served throughout the degraded window.
+    assert cache.load_cost("aa" * 8) == 1.25
+
+    # After the window (and with the injection exhausted — times=1 by
+    # default), the write tier recovers without intervention.
+    import time
+    time.sleep(0.25)
+    cache.store_cost("dd" * 8, 4.0)
+    assert cache.load_cost("dd" * 8) == 4.0
+    assert cache.stats.stores >= 2
+
+
+def test_store_degrade_warns_once_and_is_not_an_exception(tmp_path):
+    cache = PersistentCache(str(tmp_path), store_retry_s=60.0)
+    plan = FaultPlan([FaultRule(site="cache.store", action="oserror",
+                                times=100)])
+    with faults.injected(plan):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            for i in range(5):  # never raises
+                cache.store_cost(f"{i:02d}" * 8, float(i))
+    assert len(caught) == 1
+    assert cache.stats.store_errors == 5
+    assert cache.stats.stores == 0
+
+
+def test_sweep_completes_while_worker_stores_fail(tmp_path, reference_costs):
+    # Worker-side disk writes fail persistently (via the env hook, so
+    # the degrade happens inside real forked workers); the sweep still
+    # completes with exact results, because the supervisor's own store
+    # in the parent is unaffected.
+    plan = FaultPlan([FaultRule(site="cache.store", action="oserror",
+                                times=10**6, scope="worker")])
+    cache_dir = str(tmp_path / "cache")
+    with faults.injected(plan, environ=os.environ):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            with SweepSession(workers=2, cache_dir=cache_dir,
+                              retry=RetryPolicy(backoff_base_s=0.01,
+                                                poll_interval_s=0.01)
+                              ) as session:
+                result = session.run(CHAOS_GRID)
+                assert session.last_report.clean
+    assert_bit_identical(result, reference_costs)
+
+    # The parent's stores landed: a fresh session reads it all back.
+    with SweepSession(cache_dir=cache_dir) as warm:
+        again = warm.run(CHAOS_GRID)
+        assert warm.stats.cost_misses == 0
+    assert_bit_identical(again, reference_costs)
+
+
+def test_degraded_window_validation():
+    with pytest.raises(ValueError, match="store_retry_s"):
+        PersistentCache("/tmp/x", store_retry_s=-1)
+
+
+def test_reference_grid_covers_multiple_bundles(reference_costs):
+    # Sanity for the suite itself: the grid really spans two graph keys,
+    # so two-worker runs exercise multi-bundle supervision.
+    graph_keys = {c.graph_key() for c in enumerate_cells(CHAOS_GRID)}
+    assert len(graph_keys) >= 2
+    assert len(reference_costs) == 8

@@ -1,0 +1,121 @@
+"""Unit semantics of the deterministic fault-injection plan itself."""
+
+import errno
+import os
+
+import pytest
+
+from repro import faults
+from repro.config import FAULT_PLAN_ENV
+from repro.faults import FaultPlan, FaultRule, InjectedFault
+
+
+def test_rule_validation():
+    with pytest.raises(ValueError, match="action"):
+        FaultRule(site="s", action="explode")
+    with pytest.raises(ValueError, match="scope"):
+        FaultRule(site="s", action="raise", scope="everywhere")
+    with pytest.raises(ValueError, match="'at'"):
+        FaultRule(site="s", action="raise", at=0)
+    with pytest.raises(ValueError, match="'times'"):
+        FaultRule(site="s", action="raise", times=0)
+    with pytest.raises(ValueError, match="'total'"):
+        FaultRule(site="s", action="raise", total=0)
+    with pytest.raises(ValueError, match="delay_s"):
+        FaultRule(site="s", action="delay", delay_s=-1)
+    # A cross-process total cap needs somewhere to keep its tokens.
+    with pytest.raises(ValueError, match="state_dir"):
+        FaultPlan([FaultRule(site="s", action="raise", total=1)])
+
+
+def test_firing_window_is_exact():
+    plan = FaultPlan([FaultRule(site="s", action="raise", at=2, times=2)])
+    plan.fire("s")  # hit 1: before the window
+    with pytest.raises(InjectedFault):
+        plan.fire("s")  # hit 2
+    with pytest.raises(InjectedFault):
+        plan.fire("s")  # hit 3
+    plan.fire("s")  # hit 4: past the window
+    # Other sites never trip the rule.
+    plan.fire("elsewhere")
+
+
+def test_oserror_action_carries_errno():
+    plan = FaultPlan([FaultRule(site="disk", action="oserror",
+                                errno=errno.ENOSPC, message="disk full")])
+    with pytest.raises(OSError) as err:
+        plan.fire("disk")
+    assert err.value.errno == errno.ENOSPC
+    assert "disk full" in str(err.value)
+    assert "disk" in str(err.value)  # the site is named in the message
+
+
+def test_scopes_gate_on_process_kind(monkeypatch):
+    worker_only = FaultPlan([FaultRule(site="s", action="raise",
+                                       scope="worker", times=10)])
+    parent_only = FaultPlan([FaultRule(site="s", action="raise",
+                                       scope="parent", times=10)])
+    monkeypatch.setattr(faults.plan, "_in_worker", lambda: False)
+    worker_only.fire("s")  # wrong scope: no fire
+    with pytest.raises(InjectedFault):
+        parent_only.fire("s")
+    monkeypatch.setattr(faults.plan, "_in_worker", lambda: True)
+    parent_only.fire("s")
+    with pytest.raises(InjectedFault):
+        worker_only.fire("s")
+
+
+def test_env_round_trip(tmp_path):
+    plan = FaultPlan(
+        [FaultRule(site="worker.bundle", action="kill", total=2,
+                   scope="worker", message="chaos")],
+        seed=7, state_dir=str(tmp_path),
+    )
+    environ = {}
+    plan.to_env(environ)
+    back = FaultPlan.from_env(environ)
+    assert back is not None
+    assert back.as_dict() == plan.as_dict()
+    assert FaultPlan.from_env({}) is None
+
+
+def test_total_cap_is_claimed_across_plan_instances(tmp_path):
+    # Two deserializations of the same plan model two processes: the
+    # token files make 'total' a cross-process budget, not per-process.
+    make = lambda: FaultPlan(
+        [FaultRule(site="s", action="raise", times=100, total=2)],
+        state_dir=str(tmp_path),
+    )
+    a, b = make(), make()
+    with pytest.raises(InjectedFault):
+        a.fire("s")
+    with pytest.raises(InjectedFault):
+        b.fire("s")
+    a.fire("s")  # budget spent: neither instance fires again
+    b.fire("s")
+    assert len(os.listdir(tmp_path)) == 2  # one token per firing
+
+
+def test_install_uninstall_and_injected_context():
+    assert faults.active_plan() is None
+    faults.fire("s")  # no plan: a no-op
+    plan = FaultPlan([FaultRule(site="s", action="raise")])
+    environ = {}
+    with faults.injected(plan, environ=environ):
+        assert faults.active_plan() is plan
+        assert FAULT_PLAN_ENV in environ
+        with pytest.raises(InjectedFault):
+            faults.fire("s")
+    assert faults.active_plan() is None
+    assert FAULT_PLAN_ENV not in environ
+    # install_from_env with no published plan leaves nothing installed.
+    assert faults.install_from_env({}) is None
+    assert faults.active_plan() is None
+
+
+def test_delay_action_sleeps_then_continues():
+    plan = FaultPlan([FaultRule(site="s", action="delay", delay_s=0.01)])
+    import time
+    t0 = time.perf_counter()
+    plan.fire("s")  # delays, does not raise
+    assert time.perf_counter() - t0 >= 0.005

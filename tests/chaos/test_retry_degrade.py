@@ -1,0 +1,104 @@
+"""Retry, timeout/re-fork and serial-degrade paths of the supervised runner."""
+
+import os
+
+import pytest
+
+from tests.chaos.conftest import CHAOS_GRID, assert_bit_identical
+
+from repro import faults
+from repro.errors import SweepExecutionError
+from repro.faults import FaultPlan, FaultRule
+from repro.sweep import RetryPolicy, SweepSession
+
+FAST = RetryPolicy(death_grace_s=0.5, backoff_base_s=0.01,
+                   poll_interval_s=0.01)
+
+
+def test_transient_pricer_failure_is_retried(tmp_path, reference_costs):
+    # Exactly one pricing raises (cross-process token budget); the
+    # supervisor retries the bundle's remainder and the grid completes.
+    plan = FaultPlan(
+        [FaultRule(site="pricer.compute", action="raise", times=100,
+                   total=1, scope="worker")],
+        state_dir=str(tmp_path),
+    )
+    with faults.injected(plan, environ=os.environ):
+        with SweepSession(workers=2, retry=FAST) as session:
+            result = session.run(CHAOS_GRID)
+            report = session.last_report
+    assert report.retries >= 1
+    assert report.retried_cells >= 1
+    assert not report.degraded_cells  # a retry sufficed
+    assert_bit_identical(result, reference_costs)
+
+
+def test_persistent_worker_failure_degrades_to_serial(reference_costs):
+    # Every worker-side pricing fails, forever: all pool attempts are
+    # exhausted and the parent prices the cells itself — same floats,
+    # different venue.
+    plan = FaultPlan([FaultRule(site="pricer.compute", action="raise",
+                                times=10**6, scope="worker")])
+    with faults.injected(plan, environ=os.environ):
+        with SweepSession(workers=2, retry=FAST) as session:
+            result = session.run(CHAOS_GRID)
+            report = session.last_report
+    assert report.degraded_cells  # at least one cell went serial
+    assert report.retries >= 1
+    assert_bit_identical(result, reference_costs)
+
+
+def test_bundle_timeout_reforks_and_completes(tmp_path, reference_costs):
+    # One bundle stalls well past its deadline; the supervisor charges
+    # the attempt, re-forks the pool and the retry (token spent) runs
+    # clean.
+    plan = FaultPlan(
+        [FaultRule(site="worker.bundle", action="delay", delay_s=5.0,
+                   times=100, total=1, scope="worker")],
+        state_dir=str(tmp_path),
+    )
+    policy = RetryPolicy(bundle_timeout_s=0.5, death_grace_s=0.5,
+                         backoff_base_s=0.01, poll_interval_s=0.01)
+    with faults.injected(plan, environ=os.environ):
+        with SweepSession(workers=2, retry=policy) as session:
+            result = session.run(CHAOS_GRID)
+            report = session.last_report
+    assert report.timeouts >= 1
+    assert_bit_identical(result, reference_costs)
+
+
+def test_serial_path_retries_transient_failures(reference_costs):
+    # The serial (workers=None) path shares the retry policy: one
+    # injected failure, then success.
+    plan = FaultPlan([FaultRule(site="pricer.compute", action="raise")])
+    with faults.injected(plan):
+        with SweepSession(retry=FAST) as session:
+            result = session.run(CHAOS_GRID)
+            report = session.last_report
+    assert report.retries == 1 and report.retried_cells == 1
+    assert len(report.errors) == 1
+    assert_bit_identical(result, reference_costs)
+
+
+def test_unrecoverable_failure_raises_with_cell_keys():
+    # Pricing fails everywhere — workers AND the parent's degrade path:
+    # the run must end in SweepExecutionError naming the lost cells and
+    # carrying the report of everything that was tried first.
+    plan = FaultPlan([FaultRule(site="pricer.compute", action="raise",
+                                times=10**6, scope="any")])
+    with faults.injected(plan, environ=os.environ):
+        with SweepSession(workers=2, retry=FAST) as session:
+            with pytest.raises(SweepExecutionError) as err:
+                session.run(CHAOS_GRID)
+    assert err.value.cell_keys
+    assert err.value.report is not None
+    assert err.value.report.retries >= 1
+
+    # Serial sessions fail the same way, with the failing cell named.
+    with faults.injected(FaultPlan([FaultRule(site="pricer.compute",
+                                              action="raise",
+                                              times=10**6)])):
+        with SweepSession(retry=FAST) as session:
+            with pytest.raises(SweepExecutionError) as err:
+                session.run(CHAOS_GRID)
+    assert len(err.value.cell_keys) == 1

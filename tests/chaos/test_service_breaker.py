@@ -1,0 +1,193 @@
+"""Circuit breaker + deadline behavior over a real HTTP socket.
+
+Injected pricing failures (``pricer.compute`` fires inside the service's
+executor thread — same process, so :func:`faults.injected` reaches it)
+must open the breaker, flip ``/healthz`` to 503, shed with 429 +
+``Retry-After``, and heal once the injections stop.
+"""
+
+import http.client
+import json
+import time
+
+import pytest
+
+from tests.chaos.conftest import serving
+
+from repro import faults
+from repro.faults import FaultPlan, FaultRule
+from repro.serve import (
+    CircuitBreaker,
+    CostService,
+    RetryLater,
+    ServingClient,
+    ServingError,
+)
+from repro.sweep import SweepSession
+
+
+def _raw(client, method, path, body=b""):
+    conn = http.client.HTTPConnection(client.host, client.port, timeout=30)
+    try:
+        conn.request(method, path, body=body)
+        response = conn.getresponse()
+        return response.status, dict(response.getheaders()), response.read()
+    finally:
+        conn.close()
+
+
+def _price_body(batch):
+    return json.dumps(
+        {"cells": [{"model": "tiny_cnn", "batch": batch}]}
+    ).encode()
+
+
+def test_breaker_unit_state_machine():
+    now = [0.0]
+    breaker = CircuitBreaker(threshold=2, reset_s=1.0, clock=lambda: now[0])
+    assert breaker.state == "closed" and breaker.allow()
+    breaker.record_failure()
+    assert breaker.state == "closed"  # one failure is not a pattern
+    breaker.record_failure()
+    assert breaker.state == "open" and breaker.opens == 1
+    assert not breaker.allow()
+    assert breaker.remaining_s() == pytest.approx(1.0)
+    now[0] = 1.5
+    assert breaker.allow()  # the half-open probe
+    assert breaker.state == "half_open"
+    assert not breaker.allow()  # only one probe at a time
+    breaker.record_failure()  # probe failed: back open, clock restarted
+    assert breaker.state == "open" and breaker.opens == 2
+    now[0] = 3.0
+    assert breaker.allow()
+    breaker.record_success()
+    assert breaker.state == "closed" and breaker.allow()
+    # A success anywhere resets the consecutive-failure count.
+    breaker.record_failure()
+    breaker.record_success()
+    breaker.record_failure()
+    assert breaker.state == "closed"
+    with pytest.raises(ValueError):
+        CircuitBreaker(threshold=0)
+    with pytest.raises(ValueError):
+        CircuitBreaker(reset_s=0)
+
+
+def test_injected_failures_open_breaker_then_service_heals():
+    plan = FaultPlan([FaultRule(site="pricer.compute", action="raise",
+                                times=3, message="pricer down")])
+    session = SweepSession()
+    service = CostService(session, breaker_threshold=3, breaker_reset_s=0.3,
+                          min_retry_after_s=0.01)
+    with session, faults.injected(plan), serving(service) as client:
+        # Distinct cells: each failure is a fresh cold pricing (a failed
+        # future is dropped from _inflight, nothing is cached).
+        for batch in (2, 3, 4):
+            status, _, body = _raw(client, "POST", "/price",
+                                   _price_body(batch))
+            assert status == 500 and b"pricer down" in body
+
+        # Three consecutive failures: the breaker is open.
+        assert service.breaker.state == "open"
+        status, headers, body = _raw(client, "POST", "/price",
+                                     _price_body(5))
+        assert status == 429
+        assert int(headers["Retry-After"]) >= 1
+        assert json.loads(body)["reason"] == "breaker"
+
+        # Degraded liveness: 503 + Retry-After on the wire, healthy()
+        # False through the client.
+        status, headers, body = _raw(client, "GET", "/healthz")
+        health = json.loads(body)
+        assert status == 503
+        assert "Retry-After" in headers
+        assert health["ok"] is False and health["breaker"] == "open"
+        assert health["retry_after_s"] > 0
+        assert not client.healthy()
+
+        # Injections are exhausted (times=3). After the reset window the
+        # client's retry loop rides the 429s into the half-open probe,
+        # which succeeds and closes the breaker.
+        [row] = client.price_cells([{"model": "tiny_cnn", "batch": 2}],
+                                   retries=10)
+        assert row["metrics"]["total_time_s"] > 0
+        assert service.breaker.state == "closed"
+        assert client.healthy()
+        status, _, body = _raw(client, "GET", "/healthz")
+        assert status == 200 and json.loads(body)["ok"] is True
+
+        snap = client.stats()["service"]
+        assert snap["errors"] == 3
+        assert snap["breaker_opens"] == 1
+        assert snap["breaker_shed"] >= 1
+        assert snap["breaker"] == "closed"
+
+
+def test_request_deadline_maps_to_504():
+    plan = FaultPlan([FaultRule(site="pricer.compute", action="delay",
+                                delay_s=2.0, times=1)])
+    session = SweepSession()
+    service = CostService(session, min_retry_after_s=0.01)
+    with session, faults.injected(plan), serving(service) as client:
+        t0 = time.monotonic()
+        status, _, body = _raw(
+            client, "POST", "/price",
+            json.dumps({"cells": [{"model": "tiny_cnn", "batch": 2}],
+                        "deadline_s": 0.2}).encode(),
+        )
+        assert status == 504
+        assert time.monotonic() - t0 < 1.5
+        payload = json.loads(body)
+        assert payload["deadline_s"] == 0.2
+        assert payload["unresolved"] == 1
+
+        # The abandoned pricing finished in the background and warmed
+        # the cache: the same cell is now a warm hit, served instantly.
+        time.sleep(2.5)
+        [row] = client.price_cells([{"model": "tiny_cnn", "batch": 2}])
+        assert row["metrics"]["total_time_s"] > 0
+        assert client.stats()["service"]["warm_hits"] == 1
+        assert client.stats()["service"]["deadline_exceeded"] == 1
+
+        # An invalid deadline is the client's bug, not a 5xx.
+        status, _, _ = _raw(
+            client, "POST", "/price",
+            json.dumps({"cells": [{"model": "tiny_cnn", "batch": 4}],
+                        "deadline_s": -1}).encode(),
+        )
+        assert status == 400
+
+
+def test_client_backoff_is_bounded_and_seeded():
+    a = ServingClient(seed=3, backoff_base_s=0.1, backoff_factor=2.0,
+                      backoff_max_s=0.4, backoff_jitter=0.1)
+    b = ServingClient(seed=3, backoff_base_s=0.1, backoff_factor=2.0,
+                      backoff_max_s=0.4, backoff_jitter=0.1)
+    delays_a = [a.backoff_s(i) for i in range(6)]
+    delays_b = [b.backoff_s(i) for i in range(6)]
+    assert delays_a == delays_b  # same seed -> same schedule
+    assert all(d <= 0.4 * 1.1 for d in delays_a)  # bounded (plus jitter)
+    assert delays_a[0] < delays_a[1] < delays_a[2]  # growing early on
+    # The server's hint floors the delay.
+    assert a.backoff_s(0, hint_s=0.3) >= 0.3 * 0.9
+    with pytest.raises(ValueError):
+        ServingClient(backoff_factor=0.5)
+    with pytest.raises(ValueError):
+        ServingClient(backoff_jitter=1.5)
+
+
+def test_retry_later_carries_breaker_retry_after():
+    # RetryLater out of a breaker shed must carry a usable retry hint so
+    # the client-side backoff can honor it.
+    session = SweepSession()
+    plan = FaultPlan([FaultRule(site="pricer.compute", action="raise",
+                                times=2)])
+    service = CostService(session, breaker_threshold=2, breaker_reset_s=5.0,
+                          min_retry_after_s=0.01)
+    with session, faults.injected(plan), serving(service) as client:
+        for batch in (2, 3):
+            with pytest.raises(ServingError):
+                client.price_cells([{"model": "tiny_cnn", "batch": batch}])
+        with pytest.raises(RetryLater) as shed:
+            client.price_cells([{"model": "tiny_cnn", "batch": 4}])
+        assert 0 < shed.value.retry_after_s <= 5.0

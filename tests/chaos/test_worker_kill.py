@@ -1,0 +1,56 @@
+"""A real pool worker dying mid-bundle must not cost the sweep anything.
+
+The plan is published through the environment, so the kill happens in a
+genuinely forked ``multiprocessing.Pool`` worker (``os._exit(137)``, no
+cleanup — indistinguishable from an OOM kill), and the supervisor's
+death-detection / re-fork / retry machinery runs for real.
+"""
+
+import os
+
+from tests.chaos.conftest import CHAOS_GRID, assert_bit_identical
+
+from repro import faults
+from repro.faults import FaultPlan, FaultRule
+from repro.sweep import RetryPolicy, SweepSession
+
+FAST = RetryPolicy(death_grace_s=0.5, backoff_base_s=0.01,
+                   poll_interval_s=0.01)
+
+
+def _kill_plan(state_dir):
+    # total=1 via token files: the replacement worker re-reads the env
+    # plan with fresh counters and must NOT die again.
+    return FaultPlan(
+        [FaultRule(site="worker.bundle", action="kill", total=1,
+                   scope="worker")],
+        state_dir=str(state_dir),
+    )
+
+
+def test_worker_kill_recovers_bit_identical(tmp_path, reference_costs):
+    with faults.injected(_kill_plan(tmp_path / "state"), environ=os.environ):
+        with SweepSession(workers=2, retry=FAST) as session:
+            result = session.run(CHAOS_GRID)
+            report = session.last_report
+    assert report.worker_deaths >= 1
+    assert not report.clean
+    assert_bit_identical(result, reference_costs)
+
+
+def test_killed_run_still_warms_the_disk_tier(tmp_path, reference_costs):
+    cache_dir = str(tmp_path / "cache")
+    with faults.injected(_kill_plan(tmp_path / "state"), environ=os.environ):
+        with SweepSession(workers=2, retry=FAST,
+                          cache_dir=cache_dir) as session:
+            result = session.run(CHAOS_GRID)
+            assert session.last_report.worker_deaths >= 1
+    assert_bit_identical(result, reference_costs)
+
+    # Partial results were never lost: a fresh session over the same
+    # directory serves the whole grid from disk, pricing nothing.
+    with SweepSession(cache_dir=cache_dir) as warm:
+        again = warm.run(CHAOS_GRID)
+        assert warm.stats.cost_misses == 0
+        assert warm.last_report.clean
+    assert_bit_identical(again, reference_costs)

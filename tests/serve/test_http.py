@@ -178,7 +178,8 @@ def test_keep_alive_and_connection_close():
                 conn.request("GET", "/healthz")
                 response = conn.getresponse()
                 assert response.status == 200
-                assert json.loads(response.read()) == {"ok": True}
+                body = json.loads(response.read())
+                assert body["ok"] is True and body["breaker"] == "closed"
                 assert response.getheader("Connection") == "keep-alive"
             # Connection: close is honored: the server hangs up after.
             conn.request("GET", "/healthz", headers={"Connection": "close"})

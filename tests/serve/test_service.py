@@ -10,7 +10,12 @@ import threading
 
 import pytest
 
-from repro.serve import CostService, ServiceOverloaded, cell_from_json
+from repro.serve import (
+    CostService,
+    DeadlineExceeded,
+    ServiceOverloaded,
+    cell_from_json,
+)
 from repro.sweep import GraphCache, SweepSession, SweepSpec, price_cell
 
 GRID = SweepSpec(name="svc", models=("tiny_cnn",),
@@ -146,6 +151,83 @@ def test_pricing_failure_propagates_and_clears_inflight():
                 assert (await service.price_cell(_cell())) is not None
 
     asyncio.run(main())
+
+
+def test_one_failure_rejects_every_coalesced_waiter_exactly_once():
+    async def main():
+        calls = []
+        release = threading.Event()
+
+        def flaky(cell):
+            calls.append(cell.key())
+            if len(calls) == 1:
+                assert release.wait(timeout=30)
+                raise RuntimeError("transient pricer outage")
+            return price_cell(cell, GraphCache())
+
+        with SweepSession() as session, \
+                CostService(session, pricer=flaky) as service:
+            cell = _cell()
+            tasks = [asyncio.create_task(service.price_cell(cell))
+                     for _ in range(4)]
+            while len(calls) < 1:
+                await asyncio.sleep(0.01)
+            await asyncio.sleep(0.05)
+            assert service.stats.coalesced == 3
+            release.set()
+            results = await asyncio.gather(*tasks, return_exceptions=True)
+            # One compute; every coalesced waiter rejected with that one
+            # failure — none resolved, none left hanging.
+            assert len(calls) == 1
+            assert [type(r) for r in results] == [RuntimeError] * 4
+            assert service.pending == 0 and service._inflight == {}
+            assert service.stats.errors == 1
+
+            # The failure was not cached: an immediate retry re-prices
+            # and succeeds.
+            cost = await service.price_cell(cell)
+            assert cost is not None and len(calls) == 2
+            assert service.pending == 0 and service._inflight == {}
+
+    asyncio.run(main())
+
+
+def test_deadline_expiry_spares_the_shared_future():
+    async def main():
+        pricer = BlockingPricer()
+        with SweepSession() as session, \
+                CostService(session, pricer=pricer) as service:
+            cell = _cell()
+            patient = asyncio.create_task(service.price_cell(cell))
+            while len(pricer.calls) < 1:
+                await asyncio.sleep(0.01)
+
+            # An impatient coalesced caller times out...
+            with pytest.raises(DeadlineExceeded) as err:
+                await service.price_cells([cell], deadline_s=0.05)
+            assert err.value.unresolved == 1
+            assert service.stats.deadline_exceeded == 1
+
+            # ...but the in-flight future was not cancelled: the patient
+            # caller still gets the result, from the one compute.
+            pricer.release.set()
+            assert (await patient) is not None
+            assert service.stats.priced == 1
+            assert service.pending == 0 and service._inflight == {}
+
+            # Once warm, a deadline is irrelevant — no executor involved.
+            assert (await service.price_cells(
+                [cell], deadline_s=0.001)) is not None
+
+            with pytest.raises(ValueError, match="deadline_s"):
+                await service.price_cells([cell], deadline_s=0)
+
+    asyncio.run(main())
+
+    # The service-wide default is validated at construction.
+    with SweepSession() as session:
+        with pytest.raises(ValueError, match="deadline_s"):
+            CostService(session, deadline_s=-1)
 
 
 def test_price_spec_matches_direct_pricing():

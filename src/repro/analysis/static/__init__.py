@@ -1,0 +1,37 @@
+"""Static analysis for the repro IR and repo contracts.
+
+Three cooperating layers (see docs/analysis.md):
+
+* :mod:`~repro.analysis.static.verifier` — graph well-formedness
+  (:func:`check_graph` / :func:`verify_graph`), run after every pass when
+  ``REPRO_VERIFY_GRAPHS`` is set;
+* :mod:`~repro.analysis.static.precision_flow` — the forward precision
+  lattice that flags sub-fp32 accumulation statically
+  (:func:`analyze_precision_flow`);
+* :mod:`~repro.analysis.static.lint` — the stdlib-``ast`` contract linter
+  behind ``python -m repro.lint``.
+"""
+
+from repro.analysis.static.lint import LintFinding, lint_source, run_lint
+from repro.analysis.static.precision_flow import (
+    REDUCTION_KINDS,
+    analyze_precision_flow,
+)
+from repro.analysis.static.verifier import (
+    GraphFinding,
+    check_graph,
+    maybe_verify_graph,
+    verify_graph,
+)
+
+__all__ = [
+    "GraphFinding",
+    "LintFinding",
+    "REDUCTION_KINDS",
+    "analyze_precision_flow",
+    "check_graph",
+    "lint_source",
+    "maybe_verify_graph",
+    "run_lint",
+    "verify_graph",
+]

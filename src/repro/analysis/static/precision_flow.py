@@ -1,0 +1,133 @@
+"""Precision-flow dataflow analysis: a forward lattice over element widths.
+
+The PR-5 bug class — a reduction accumulating at the storage width instead
+of the fp32-floored contract width (fp16 squaring before the fp32 sum;
+sub-fp32 scale/shift truncation) — is invisible to structural validation:
+the graph is perfectly well-formed, it just computes garbage at fp16. This
+analysis catches it statically, for every scenario x precision combination,
+without executing a kernel.
+
+Lattice: precision names ordered by element width,
+
+    fp16 = bf16 (16 bit)  <  fp32 (32 bit)  <  fp64 (64 bit)
+
+``join`` = widest. For each node in execution order the analysis computes
+the join of its input tensor precisions, resolves the node's *accumulate*
+precision (the explicit ``accumulate_precision`` attr when a pass or test
+set one, else the contract default ``max(input, fp32)`` — exactly what
+:func:`repro.kernels.bn_stats.resolve_accumulate_dtype` does dynamically),
+and checks:
+
+=============  ==============================================================
+REPRO-P001     reduction/stats node accumulates narrower than fp32
+REPRO-P002     reduction/stats node accumulates narrower than its input
+REPRO-P003     CHANNEL_STAT tensor stored narrower than fp32
+               (the fission/scale-shift truncation class)
+=============  ==============================================================
+
+A graph whose kernels all honor the ``accumulate_dtype`` contract therefore
+passes vacuously — the default resolution *is* the contract — while any
+node that pins an accumulate below the floor, and any stats tensor typed
+below fp32, is flagged.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.config import PRECISION_BYTES
+from repro.graph.graph import LayerGraph
+from repro.graph.node import Node, OpKind
+from repro.tensors.tensor_spec import TensorKind, TensorSpec
+
+from repro.analysis.static.verifier import GraphFinding
+
+#: Node kinds that reduce over the mini-batch or spatial dims — the ops
+#: where a narrow accumulator loses information irrecoverably.
+REDUCTION_KINDS = frozenset({
+    OpKind.CONV, OpKind.FC, OpKind.BN, OpKind.BN_STATS, OpKind.BN_NORM,
+    OpKind.POOL_AVG, OpKind.POOL_GLOBAL, OpKind.LOSS,
+})
+
+_DTYPE_PRECISION = {
+    np.dtype(np.float16): "fp16",
+    np.dtype(np.float32): "fp32",
+    np.dtype(np.float64): "fp64",
+}
+
+
+def _width(precision: str) -> int:
+    return PRECISION_BYTES[precision]
+
+
+def tensor_precision(spec: TensorSpec) -> Optional[str]:
+    """Effective precision name of a spec (explicit tag, else from dtype)."""
+    if spec.precision is not None:
+        return spec.precision
+    return _DTYPE_PRECISION.get(np.dtype(spec.dtype))
+
+
+def _join(precisions: List[str]) -> Optional[str]:
+    """Lattice join: the widest precision present (None if none known)."""
+    known = [p for p in precisions if p is not None]
+    if not known:
+        return None
+    return max(known, key=_width)
+
+
+def node_accumulate_precision(graph: LayerGraph, node: Node) -> Optional[str]:
+    """The precision *node* accumulates at.
+
+    Explicit ``accumulate_precision`` attr wins (passes and tests use it to
+    model kernels that pin their accumulator); otherwise the contract
+    default applies: promote the input join to at least fp32 — mirroring
+    ``resolve_accumulate_dtype(None, storage=x.dtype)``.
+    """
+    explicit = node.attrs.get("accumulate_precision")
+    if explicit is not None:
+        return explicit
+    in_prec = _join([
+        tensor_precision(graph.tensors[t])
+        for t in node.inputs if t in graph.tensors
+    ])
+    if in_prec is None:
+        return None
+    return in_prec if _width(in_prec) >= _width("fp32") else "fp32"
+
+
+def analyze_precision_flow(graph: LayerGraph) -> List[GraphFinding]:
+    """Walk the graph forward; return one finding per precision violation."""
+    findings: List[GraphFinding] = []
+    for node in graph.nodes:
+        if node.attrs.get("fused_into"):
+            continue  # ghost: its arithmetic now lives in the fusion target
+        if node.kind not in REDUCTION_KINDS:
+            continue
+        in_prec = _join([
+            tensor_precision(graph.tensors[t])
+            for t in node.inputs if t in graph.tensors
+        ])
+        acc = node_accumulate_precision(graph, node)
+        if acc is not None:
+            if _width(acc) < _width("fp32"):
+                findings.append(GraphFinding(
+                    "REPRO-P001", node.name,
+                    f"accumulates at {acc} — narrower than the fp32 floor "
+                    f"(accumulate_dtype contract)"))
+            elif in_prec is not None and _width(acc) < _width(in_prec):
+                findings.append(GraphFinding(
+                    "REPRO-P002", node.name,
+                    f"accumulates at {acc} — narrower than its {in_prec} "
+                    f"input"))
+    for spec in graph.tensors.values():
+        if spec.kind != TensorKind.CHANNEL_STAT:
+            continue
+        prec = tensor_precision(spec)
+        if prec is not None and _width(prec) < _width("fp32"):
+            findings.append(GraphFinding(
+                "REPRO-P003", spec.name,
+                f"per-channel statistics stored at {prec} — scale/shift "
+                f"truncation below the fp32 floor"))
+    return findings

@@ -1,0 +1,367 @@
+"""Static IR verifier: structural + metadata invariants for LayerGraph.
+
+:meth:`LayerGraph.validate` is the fast always-on tripwire (raises on the
+first structural violation it sees). This module is the exhaustive,
+*finding-oriented* layer on top of it: :func:`check_graph` walks every
+invariant the restructuring passes are supposed to preserve and returns one
+:class:`GraphFinding` per violation — never raising mid-walk, never
+cascading one root cause into a pile of secondary reports — so the pass
+pipeline, the sweep cache, and ``repro.lint --strict`` can all point at the
+exact broken edge.
+
+Rule catalog (stable ids, documented in docs/analysis.md):
+
+=============  ==============================================================
+REPRO-G001     node input/output references an unknown tensor (dangling edge)
+REPRO-G002     feature input has no producer, or its producer runs later
+               (order not topological / cycle)
+REPRO-G003     duplicate or inconsistent node ids (node list vs index)
+REPRO-G004     producer map inconsistent with node outputs
+REPRO-G005     sweep ledger references an unknown tensor
+REPRO-G006     output shape disagrees with shape inference for the op kind
+REPRO-G007     TensorSpec precision metadata incoherent with container dtype
+REPRO-G008     ghosted node (``fused_into`` set) still carries sweeps or
+               invocations
+=============  ==============================================================
+
+Non-cascading discipline: when an edge is already reported under G001, the
+checks that would need that tensor (producer, topology, shape) skip it, so
+one seeded mutation produces exactly one finding.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.config import PRECISION_BYTES
+from repro.errors import GraphVerificationError
+from repro.graph.graph import LayerGraph
+from repro.graph.node import Node, OpKind
+from repro.tensors.shapes import conv2d_output_hw, pool2d_output_hw
+from repro.tensors.tensor_spec import TensorKind
+
+
+@dataclass(frozen=True)
+class GraphFinding:
+    """One verifier violation: a stable rule id, where, and why."""
+
+    rule: str
+    subject: str  # node or tensor name the finding anchors to
+    message: str
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.rule} {self.subject}: {self.message}"
+
+
+#: Precision name -> required numpy container dtype. bf16 has no native
+#: numpy dtype; its functional container is fp32 (values mantissa-truncated
+#: by :func:`repro.kernels.bf16.bf16_round`), so an fp16 container under a
+#: bf16 tag means some layer silently halved the element width.
+_PRECISION_CONTAINERS = {
+    "fp16": np.dtype(np.float16),
+    "bf16": np.dtype(np.float32),
+    "fp32": np.dtype(np.float32),
+    "fp64": np.dtype(np.float64),
+}
+
+
+def check_graph(graph: LayerGraph) -> List[GraphFinding]:
+    """Run every invariant check; return all findings (empty = well-formed)."""
+    findings: List[GraphFinding] = []
+    dangling: Set[Tuple[str, str]] = set()  # (node, tensor) already reported
+
+    _check_node_ids(graph, findings)
+    _check_edges(graph, findings, dangling)
+    _check_topology(graph, findings, dangling)
+    _check_producer_map(graph, findings, dangling)
+    _check_sweeps(graph, findings)
+    _check_shapes(graph, findings, dangling)
+    _check_precision_metadata(graph, findings)
+    _check_ghosts(graph, findings)
+    return findings
+
+
+def verify_graph(graph: LayerGraph, context: str = "") -> None:
+    """Raise :class:`GraphVerificationError` if *graph* has any finding."""
+    findings = check_graph(graph)
+    if not findings:
+        return
+    where = f" {context}" if context else ""
+    lines = "; ".join(str(f) for f in findings[:5])
+    more = f" (+{len(findings) - 5} more)" if len(findings) > 5 else ""
+    raise GraphVerificationError(
+        f"graph {graph.name!r} failed verification{where}: {lines}{more}",
+        findings=findings,
+    )
+
+
+def maybe_verify_graph(graph: LayerGraph, context: str = "") -> None:
+    """:func:`verify_graph`, gated on the ``REPRO_VERIFY_GRAPHS`` switch."""
+    from repro.config import verify_graphs_enabled
+
+    if verify_graphs_enabled():
+        verify_graph(graph, context=context)
+
+
+# -- individual invariants ----------------------------------------------------
+
+def _check_node_ids(graph: LayerGraph, findings: List[GraphFinding]) -> None:
+    seen: Set[str] = set()
+    for node in graph.nodes:
+        if node.name in seen:
+            findings.append(GraphFinding(
+                "REPRO-G003", node.name, "duplicate node id in node list"))
+            continue
+        seen.add(node.name)
+        if graph._node_index.get(node.name) is not node:
+            findings.append(GraphFinding(
+                "REPRO-G003", node.name,
+                "node index entry missing or bound to a different node"))
+    for name in graph._node_index:
+        if name not in seen:
+            findings.append(GraphFinding(
+                "REPRO-G003", name,
+                "node index entry has no node in the ordered list"))
+
+
+def _check_edges(
+    graph: LayerGraph,
+    findings: List[GraphFinding],
+    dangling: Set[Tuple[str, str]],
+) -> None:
+    for node in graph.nodes:
+        for role, tensors in (("input", node.inputs), ("output", node.outputs)):
+            for t in tensors:
+                if t not in graph.tensors:
+                    findings.append(GraphFinding(
+                        "REPRO-G001", node.name,
+                        f"{role} references unknown tensor {t!r}"))
+                    dangling.add((node.name, t))
+
+
+def _check_topology(
+    graph: LayerGraph,
+    findings: List[GraphFinding],
+    dangling: Set[Tuple[str, str]],
+) -> None:
+    produced: Set[str] = set()
+    for node in graph.nodes:
+        for t in node.inputs:
+            if (node.name, t) in dangling:
+                continue
+            spec = graph.tensors[t]
+            producer = graph._producer.get(t)
+            if producer is None:
+                if spec.kind == TensorKind.FEATURE:
+                    findings.append(GraphFinding(
+                        "REPRO-G002", node.name,
+                        f"feature input {t!r} has no producer"))
+            elif t not in produced:
+                findings.append(GraphFinding(
+                    "REPRO-G002", node.name,
+                    f"input {t!r} produced by {producer!r} which has not "
+                    f"executed yet (order not topological)"))
+        produced.update(node.outputs)
+
+
+def _check_producer_map(
+    graph: LayerGraph,
+    findings: List[GraphFinding],
+    dangling: Set[Tuple[str, str]],
+) -> None:
+    for node in graph.nodes:
+        for t in node.outputs:
+            if (node.name, t) in dangling:
+                continue
+            owner = graph._producer.get(t)
+            if owner != node.name:
+                findings.append(GraphFinding(
+                    "REPRO-G004", node.name,
+                    f"output {t!r} registered to producer {owner!r} "
+                    f"in the producer map"))
+    for t, owner in graph._producer.items():
+        node = graph._node_index.get(owner)
+        if t not in graph.tensors or node is None or t not in node.outputs:
+            findings.append(GraphFinding(
+                "REPRO-G004", t,
+                f"producer map entry -> {owner!r} does not match any "
+                f"node output"))
+
+
+def _check_sweeps(graph: LayerGraph, findings: List[GraphFinding]) -> None:
+    for node in graph.nodes:
+        for sweep in list(node.fwd_sweeps) + list(node.bwd_sweeps):
+            if sweep.tensor not in graph.tensors:
+                findings.append(GraphFinding(
+                    "REPRO-G005", node.name,
+                    f"sweep {sweep.tag!r} references unknown tensor "
+                    f"{sweep.tensor!r}"))
+
+
+def _check_ghosts(graph: LayerGraph, findings: List[GraphFinding]) -> None:
+    for node in graph.nodes:
+        if not node.attrs.get("fused_into"):
+            continue
+        if (node.fwd_sweeps or node.bwd_sweeps
+                or node.fwd_invocations or node.bwd_invocations):
+            findings.append(GraphFinding(
+                "REPRO-G008", node.name,
+                f"ghosted into {node.attrs['fused_into']!r} but still "
+                f"carries sweeps or invocations"))
+
+
+def _check_precision_metadata(
+    graph: LayerGraph, findings: List[GraphFinding]
+) -> None:
+    for spec in graph.tensors.values():
+        if spec.precision is None:
+            continue
+        required = _PRECISION_CONTAINERS.get(spec.precision)
+        if required is None:
+            # TensorSpec.__post_init__ already rejects unknown names; an
+            # unknown name here means the spec was forged around it.
+            findings.append(GraphFinding(
+                "REPRO-G007", spec.name,
+                f"unknown precision tag {spec.precision!r}"))
+            continue
+        if np.dtype(spec.dtype) != required:
+            findings.append(GraphFinding(
+                "REPRO-G007", spec.name,
+                f"precision {spec.precision!r} requires container dtype "
+                f"{required}, found {np.dtype(spec.dtype)}"))
+
+
+# -- shape inference ----------------------------------------------------------
+
+def _check_shapes(
+    graph: LayerGraph,
+    findings: List[GraphFinding],
+    dangling: Set[Tuple[str, str]],
+) -> None:
+    for node in graph.nodes:
+        if any((node.name, t) in dangling
+               for t in list(node.inputs) + list(node.outputs)):
+            continue  # G001 already owns this node's edge problem
+        expected = _expected_output_shapes(graph, node)
+        if expected is None:
+            continue
+        for t, shape in expected.items():
+            actual = graph.tensors[t].shape
+            if tuple(actual) != tuple(shape):
+                findings.append(GraphFinding(
+                    "REPRO-G006", node.name,
+                    f"output {t!r} has shape {tuple(actual)}, shape "
+                    f"inference for {node.kind.name} expects {tuple(shape)}"))
+
+
+def _expected_output_shapes(
+    graph: LayerGraph, node: Node
+) -> Optional[Dict[str, Tuple[int, ...]]]:
+    """Recompute output shapes from inputs + attrs (builder ground truth).
+
+    Returns ``None`` when the node kind carries no checkable shape rule or
+    the attrs the rule needs are absent (hand-built test graphs may omit
+    them) — the verifier only checks what the graph declares.
+    """
+    k = node.kind
+    ins = [graph.tensors[t].shape for t in node.inputs]
+    outs = list(node.outputs)
+
+    if k == OpKind.CONV and not node.attrs.get("depthwise"):
+        if not all(a in node.attrs for a in
+                   ("kernel", "stride", "padding", "out_channels")):
+            return None
+        if len(ins) != 1 or len(ins[0]) != 4 or len(outs) != 1:
+            return None
+        n, _, h, w = ins[0]
+        try:
+            oh, ow = conv2d_output_hw(
+                (h, w), node.attrs["kernel"], node.attrs["stride"],
+                node.attrs["padding"])
+        except Exception:
+            return None  # kernel does not fit: a builder-level error
+        return {outs[0]: (n, node.attrs["out_channels"], oh, ow)}
+
+    if k == OpKind.CONV and node.attrs.get("depthwise"):
+        if not all(a in node.attrs for a in ("kernel", "stride", "padding")):
+            return None
+        if len(ins) != 1 or len(ins[0]) != 4 or len(outs) != 1:
+            return None
+        n, c, h, w = ins[0]
+        try:
+            oh, ow = pool2d_output_hw(
+                (h, w), node.attrs["kernel"], node.attrs["stride"],
+                node.attrs["padding"])
+        except Exception:
+            return None
+        return {outs[0]: (n, c, oh, ow)}
+
+    if k == OpKind.FC:
+        if "out_features" not in node.attrs:
+            return None
+        if len(ins) != 1 or len(outs) != 1:
+            return None
+        return {outs[0]: (ins[0][0], node.attrs["out_features"])}
+
+    if k in (OpKind.BN, OpKind.RELU):
+        if len(ins) < 1 or len(outs) != 1:
+            return None
+        return {outs[0]: tuple(ins[0])}
+
+    if k == OpKind.BN_NORM:
+        # inputs are [x, stats]; output mirrors x.
+        if len(ins) < 1 or len(outs) != 1:
+            return None
+        return {outs[0]: tuple(ins[0])}
+
+    if k == OpKind.BN_STATS:
+        if "channels" not in node.attrs or len(outs) != 1:
+            return None
+        return {outs[0]: (2, node.attrs["channels"])}
+
+    if k in (OpKind.POOL_MAX, OpKind.POOL_AVG):
+        if "kernel" not in node.attrs:
+            return None
+        if len(ins) != 1 or len(ins[0]) != 4 or len(outs) != 1:
+            return None
+        n, c, h, w = ins[0]
+        try:
+            oh, ow = pool2d_output_hw(
+                (h, w), node.attrs["kernel"],
+                node.attrs.get("stride") or node.attrs["kernel"],
+                node.attrs.get("padding", 0),
+                node.attrs.get("ceil_mode", False))
+        except Exception:
+            return None
+        return {outs[0]: (n, c, oh, ow)}
+
+    if k == OpKind.POOL_GLOBAL:
+        if len(ins) != 1 or len(ins[0]) != 4 or len(outs) != 1:
+            return None
+        n, c, _, _ = ins[0]
+        return {outs[0]: (n, c, 1, 1)}
+
+    if k == OpKind.CONCAT:
+        if len(outs) != 1 or not ins or any(len(s) != 4 for s in ins):
+            return None
+        n, _, h, w = ins[0]
+        if any((s[0], s[2], s[3]) != (n, h, w) for s in ins):
+            return None  # malformed inputs — not this node's output's fault
+        return {outs[0]: (n, sum(s[1] for s in ins), h, w)}
+
+    if k == OpKind.SPLIT:
+        if len(ins) != 1:
+            return None
+        return {t: tuple(ins[0]) for t in outs}
+
+    if k == OpKind.EWS:
+        if len(outs) != 1 or not ins:
+            return None
+        if any(tuple(s) != tuple(ins[0]) for s in ins):
+            return None
+        return {outs[0]: tuple(ins[0])}
+
+    return None  # DATA, LOSS: no checkable inference rule

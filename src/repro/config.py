@@ -57,6 +57,20 @@ def stat_dtype(dtype) -> np.dtype:
     return np.promote_types(np.dtype(dtype), np.float32)
 
 
+def stat_precision(precision: str | None) -> str | None:
+    """The *precision name* BN statistics are kept at: never below fp32.
+
+    Name-level twin of :func:`stat_dtype` for the analytical layers, where
+    bf16 exists only as a precision name. ``None`` (no explicit precision
+    tag) passes through unchanged.
+    """
+    if precision is None:
+        return None
+    if PRECISION_BYTES[precision] < PRECISION_BYTES["fp32"]:
+        return "fp32"
+    return precision
+
+
 def dtype_bytes(dtype) -> int:
     """Return bytes-per-element for *dtype*.
 
@@ -90,6 +104,26 @@ def kernel_threads() -> int:
             f"{KERNEL_THREADS_ENV} must be an integer, got {raw!r}"
         ) from None
     return max(1, n)
+
+
+#: Environment switch for the static IR verifier
+#: (:mod:`repro.analysis.static`). When truthy, every pass application
+#: (:meth:`repro.passes.base.Pass.__call__`), every scenario-graph build,
+#: and every disk-loaded cached graph is re-checked against the full
+#: invariant catalog (docs/analysis.md). Tests turn it on; sweeps leave it
+#: off by default so verification never shows up in measured wall times.
+VERIFY_GRAPHS_ENV = "REPRO_VERIFY_GRAPHS"
+
+
+def verify_graphs_enabled() -> bool:
+    """Whether graph verification is switched on (default: off).
+
+    Read per call (not cached at import) so tests can flip the environment
+    variable without re-importing. Any value other than the usual falsy
+    spellings (empty, ``0``, ``false``, ``no``, ``off``) enables it.
+    """
+    raw = os.environ.get(VERIFY_GRAPHS_ENV, "0").strip().lower()
+    return raw not in ("", "0", "false", "no", "off")
 
 
 #: Environment hook for the deterministic fault-injection harness

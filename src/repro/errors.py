@@ -20,6 +20,26 @@ class GraphError(ReproError):
     """A layer graph is structurally invalid (cycles, dangling tensors...)."""
 
 
+class GraphVerificationError(GraphError):
+    """The static IR verifier rejected a graph.
+
+    Raised by :func:`repro.analysis.static.verify_graph` when one or more
+    invariants fail; ``findings`` carries the individual
+    :class:`~repro.analysis.static.verifier.GraphFinding` records so callers
+    (and the ``repro.lint --strict`` driver) can report per-rule detail
+    instead of one opaque message.
+    """
+
+    def __init__(self, message: str, findings=()):
+        super().__init__(message)
+        self.findings = tuple(findings)
+
+    def __reduce__(self):
+        # Extra constructor state needs an explicit pickle recipe so the
+        # error survives the multiprocessing result queue intact.
+        return (type(self), (self.args[0], self.findings))
+
+
 class PassError(ReproError):
     """A restructuring pass was applied to a graph it cannot legally touch."""
 

@@ -14,6 +14,9 @@ Usage::
     # Serve cost queries over JSON/HTTP (coalescing, backpressure):
     python -m repro.experiments serve --port 8731 --workers 4
 
+    # Run the contract linter (alias for ``python -m repro.lint``):
+    python -m repro.experiments lint --strict
+
 Both entry points execute on one :class:`~repro.sweep.SweepSession`: a
 single warm worker pool spans every experiment in the invocation, and —
 unless ``--no-persist`` — priced cells land in an on-disk cache
@@ -249,6 +252,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         return sweep_main(argv[1:])
     if argv and argv[0] == "serve":
         return serve_main(argv[1:])
+    if argv and argv[0] == "lint":
+        # Alias for ``python -m repro.lint`` (same flags, same exit-code
+        # contract: 0 clean, 1 findings, 2 internal error).
+        from repro.analysis.static.lint import main as lint_main
+
+        return lint_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro-experiments",
         description="Regenerate tables/figures from 'Restructuring Batch "

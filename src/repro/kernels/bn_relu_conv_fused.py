@@ -62,6 +62,7 @@ def _affine_normalize(
         var = var.astype(acc, copy=False)
         gamma = gamma.astype(acc, copy=False)
         beta = beta.astype(acc, copy=False)
+    # repro-lint: allow REPRO-ALLOC001 (deliberate naive x_hat path)
     inv_std = 1.0 / np.sqrt(var + eps)
     x_hat = (x - mean[None, :, None, None]) * inv_std[None, :, None, None]
     bn_out = gamma[None, :, None, None] * x_hat + beta[None, :, None, None]
@@ -132,6 +133,7 @@ def bn_relu_conv_backward(
     acc = resolve_accumulate_dtype(accumulate_dtype, storage=dy.dtype)
     x_hat, bn_out = _affine_normalize(bn_x, mean, var, gamma, beta, eps,
                                       accumulate_dtype=acc)
+    # repro-lint: allow REPRO-ALLOC001 (deliberate naive x_hat path)
     conv_in = np.maximum(bn_out, 0) if apply_relu else bn_out
     if acc is not None and acc.itemsize > conv_in.dtype.itemsize:
         conv_in = conv_in.astype(acc)

@@ -140,6 +140,7 @@ def onepass_stats(
     return mean.astype(out), var.astype(out)
 
 
+# repro-lint: allow REPRO-K001 (strict-fp32 measured variant; width is fixed)
 def onepass_stats_fp32(x: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
     """MVF with strict fp32 accumulation — the paper's measured variant.
 

@@ -1,0 +1,18 @@
+"""``python -m repro.lint`` — the repo contract linter.
+
+Thin runnable shim over :mod:`repro.analysis.static.lint` so the linter has
+a short, stable invocation for CI and pre-commit hooks::
+
+    python -m repro.lint [--strict] [--format {text,json}] [PATH ...]
+
+Exit codes: 0 clean, 1 findings, 2 internal error. ``python -m
+repro.experiments lint`` is an alias. Rule catalog and allowlist format:
+docs/analysis.md.
+"""
+
+from repro.analysis.static.lint import main  # noqa: F401  (re-export)
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(main())

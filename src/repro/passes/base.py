@@ -39,6 +39,17 @@ class Pass:
     def __call__(self, graph: LayerGraph) -> PassResult:
         result = self.run(graph)
         graph.validate()
+        # Full invariant catalog (shapes, producer map, precision metadata,
+        # ghost integrity — docs/analysis.md) behind REPRO_VERIFY_GRAPHS:
+        # on in tests, off by default in sweeps so verification never
+        # shows up in measured wall times. Imported lazily because
+        # repro.analysis's package __init__ imports this module back.
+        from repro.config import verify_graphs_enabled
+
+        if verify_graphs_enabled():
+            from repro.analysis.static.verifier import verify_graph
+
+            verify_graph(graph, context=f"after pass {self.name!r}")
         return result
 
     # -- shared helpers ---------------------------------------------------------

@@ -13,6 +13,7 @@ backward imposes.
 
 from __future__ import annotations
 
+from repro.config import stat_dtype, stat_precision
 from repro.graph.graph import LayerGraph
 from repro.graph.node import Node, OpKind
 from repro.graph.sweeps import attach_reference_sweeps
@@ -39,13 +40,18 @@ class FissionPass(Pass):
         graph.remove_node(bn.name)
 
         # Per-channel (mean, var) vector produced by sub-BN1 for sub-BN2;
-        # cache-resident, so it never contributes DRAM sweeps. Precision
-        # metadata rides along with the dtype so re-typed (e.g. bf16)
-        # graphs keep every spec's element width consistent.
+        # cache-resident, so it never contributes DRAM sweeps. Statistics
+        # are floored to fp32 regardless of the graph's storage precision
+        # (the same rule every stats kernel applies via stat_dtype): an
+        # fp16/bf16-typed stats tensor would model scale/shift truncation
+        # that the kernels never perform. Residency makes the width change
+        # invisible to traffic and footprint accounting, so re-typed
+        # graphs keep their historical numbers.
+        x_spec = graph.tensor(x)
         stats_tensor = TensorSpec(
             f"{bn.name}.stats_out", (2, channels),
-            kind=TensorKind.CHANNEL_STAT, dtype=graph.tensor(x).dtype,
-            precision=graph.tensor(x).precision,
+            kind=TensorKind.CHANNEL_STAT, dtype=stat_dtype(x_spec.dtype),
+            precision=stat_precision(x_spec.precision),
         )
         graph.add_tensor(stats_tensor)
 

@@ -194,7 +194,9 @@ class HttpServer:
                 "deadline_s"
             ) is not None:
                 deadline_s = float(payload["deadline_s"])
-            cells = cells_from_json(payload)
+            cells = cells_from_json(
+                payload, cache=self.service.session.cache
+            )
             costs = await self.service.price_cells(
                 cells, deadline_s=deadline_s
             )

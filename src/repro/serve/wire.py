@@ -70,11 +70,17 @@ def cell_from_json(obj: Union[Mapping[str, Any], SweepCell]) -> SweepCell:
     return cell
 
 
-def cells_from_json(payload: Any) -> List[SweepCell]:
+def cells_from_json(payload: Any, cache: Any = None) -> List[SweepCell]:
     """Parse a request payload: ``cells`` list and/or a ``grid`` object.
 
     Cells concatenate in request order (grid cells after explicit ones);
     duplicates are legal — the service deduplicates by content key.
+
+    When the service's :class:`~repro.sweep.cache.GraphCache` is passed
+    (and ``REPRO_VERIFY_GRAPHS`` is on), each requested cell whose scenario
+    graph is already cached in memory is additionally checked by the
+    static verifier — a malformed cached graph rejects the request as a
+    ``SweepSpecError`` (HTTP 400) *before* any pricing work is admitted.
     """
     if not isinstance(payload, Mapping):
         raise SweepSpecError("request body must be a JSON object")
@@ -88,7 +94,37 @@ def cells_from_json(payload: Any) -> List[SweepCell]:
         cells.append(cell_from_json(obj))
     if "grid" in payload:
         cells.extend(grid_from_json(payload["grid"]).cells())
+    if cache is not None:
+        _verify_cached_graphs(cells, cache)
     return cells
+
+
+def _verify_cached_graphs(cells: List[SweepCell], cache: Any) -> None:
+    """Static check of the already-cached scenario graphs a request needs."""
+    from repro.config import verify_graphs_enabled
+
+    if not verify_graphs_enabled():
+        return
+    from repro.analysis.static.verifier import check_graph
+    from repro.sweep.spec import scenario_key
+
+    checked = set()
+    for cell in cells:
+        key = scenario_key(cell.model, cell.batch, cell.scenario,
+                           cell.precision)
+        if key in checked:
+            continue
+        checked.add(key)
+        graph = cache.cached_scenario_graph(key)
+        if graph is None:
+            continue  # cold: the pricing path builds and verifies it
+        findings = check_graph(graph)
+        if findings:
+            raise SweepSpecError(
+                f"cell {cell.key()} ({cell.model}/{cell.scenario}"
+                f"@{cell.precision}, batch {cell.batch}): cached scenario "
+                f"graph is malformed: {findings[0]}"
+            )
 
 
 def grid_from_json(obj: Any) -> SweepSpec:

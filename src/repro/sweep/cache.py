@@ -136,6 +136,29 @@ class GraphCache:
     _lock: threading.RLock = field(default_factory=threading.RLock,
                                    init=False, repr=False, compare=False)
 
+    def _load_verified_graph(self, key: str) -> Optional[LayerGraph]:
+        """Disk-tier graph load, gated by the static verifier.
+
+        With ``REPRO_VERIFY_GRAPHS`` set, a cached graph that fails
+        :func:`~repro.analysis.static.check_graph` is treated as a miss —
+        the caller rebuilds from source instead of pricing a corrupt
+        restructuring (a malformed entry on disk should degrade to a
+        rebuild, never to a deep kernel traceback).
+        """
+        if self.persist is None:
+            return None
+        graph = self.persist.load_graph(key)
+        if graph is None:
+            return None
+        from repro.config import verify_graphs_enabled
+
+        if verify_graphs_enabled():
+            from repro.analysis.static.verifier import check_graph
+
+            if check_graph(graph):
+                return None
+        return graph
+
     # -- stage 1: built model graphs -----------------------------------------
     def base_graph(self, model: str, batch: int,
                    precision: str = "fp32") -> LayerGraph:
@@ -144,7 +167,7 @@ class GraphCache:
             if key in self._graphs:
                 self.stats.graph_hits += 1
                 return self._graphs[key]
-        graph = self.persist.load_graph(key) if self.persist else None
+        graph = self._load_verified_graph(key)
         if graph is not None:
             with self._lock:
                 self.stats.graph_disk_hits += 1
@@ -168,13 +191,19 @@ class GraphCache:
             if key in self._scenario_graphs:
                 self.stats.scenario_hits += 1
                 return self._scenario_graphs[key]
-        graph = self.persist.load_graph(key) if self.persist else None
+        graph = self._load_verified_graph(key)
         if graph is not None:
             with self._lock:
                 self.stats.scenario_disk_hits += 1
         else:
             base = self.base_graph(model, batch, precision)
             graph, _ = apply_scenario(base, scenario)
+            # The pass hook verified each pass application; the baseline
+            # scenario runs no passes, so cover the built graph here too.
+            from repro.analysis.static.verifier import maybe_verify_graph
+
+            maybe_verify_graph(
+                graph, context=f"scenario {scenario!r} of {model!r}")
             with self._lock:
                 self.stats.scenario_misses += 1
             if self.persist:
@@ -183,6 +212,11 @@ class GraphCache:
             self._scenario_graphs[key] = graph
         self._record_node_count(key, len(graph.nodes))
         return graph
+
+    def cached_scenario_graph(self, key: str) -> Optional[LayerGraph]:
+        """In-memory scenario-graph lookup only (no disk probe, no stats)."""
+        with self._lock:
+            return self._scenario_graphs.get(key)
 
     # -- observed node counts (scheduler feedback) -----------------------------
     def _record_node_count(self, scenario_key: str, count: int) -> None:

@@ -379,6 +379,7 @@ class PersistentCache:
         went hot underneath it. Concurrent removal of a file by another
         process is treated as that file already being gone.
         """
+        # repro-lint: allow REPRO-DET002 (LRU eviction compares file mtimes)
         now = time.time() if now is None else now
         removed = 0
         entries: List[Tuple[float, int, str]] = []  # (mtime, size, path)

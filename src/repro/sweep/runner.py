@@ -58,7 +58,12 @@ from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple, Union
 
 from repro import faults
 from repro.analysis.bandwidth import FIG4_KINDS
-from repro.errors import CellPricingError, SweepExecutionError
+from repro.analysis.static.verifier import maybe_verify_graph
+from repro.errors import (
+    CellPricingError,
+    GraphVerificationError,
+    SweepExecutionError,
+)
 from repro.hw.presets import get_preset
 from repro.hw.spec import HardwareSpec
 from repro.perf.report import IterationCost
@@ -100,9 +105,21 @@ def price_cell(cell: SweepCell, cache: Optional[GraphCache] = None,
 
     def compute() -> IterationCost:
         faults.fire("pricer.compute", key=cell.key())
-        graph = cache.scenario_graph(
-            cell.model, cell.batch, cell.scenario, cell.precision
-        )
+        try:
+            graph = cache.scenario_graph(
+                cell.model, cell.batch, cell.scenario, cell.precision
+            )
+            # Re-check even a memory hit when verification is on: a graph
+            # poisoned *after* it was cached must degrade to a clean
+            # sweep error here, never to a deep kernel traceback.
+            maybe_verify_graph(graph, context=f"pricing cell {cell.key()}")
+        except GraphVerificationError as exc:
+            raise SweepExecutionError(
+                f"cell {cell.key()} ({cell.model}/{cell.scenario}"
+                f"@{cell.precision}, batch {cell.batch}): malformed "
+                f"scenario graph: {exc}",
+                cell_keys=(cell.key(),),
+            ) from exc
         kinds = INFINITE_BW_KINDS if cell.infinite_bw else frozenset()
         return simulate(graph, cell_hardware(cell), scenario=cell.scenario,
                         infinite_bw_kinds=kinds, precision=cell.precision)

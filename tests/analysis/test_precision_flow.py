@@ -1,0 +1,126 @@
+"""Precision-flow lattice: contract-honoring graphs pass, the seeded
+fp16-accumulate stats mutation produces exactly one REPRO-P001, bf16
+scale/shift truncation produces REPRO-P003, and the fission fp32-floor
+fix is pinned as a regression test."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.static import analyze_precision_flow, check_graph
+from repro.graph import GraphBuilder, LayerGraph
+from repro.passes import FissionPass, apply_scenario
+from repro.sweep.cache import retype_graph
+from repro.tensors.tensor_spec import TensorKind, TensorSpec
+
+
+def chain_graph():
+    b = GraphBuilder("chain", batch=4, image=(3, 8, 8))
+    x = b.input()
+    x = b.conv(x, 8, kernel=1, name="conv1")
+    x = b.bn(x, name="bn")
+    x = b.relu(x, name="relu")
+    x = b.conv(x, 4, kernel=3, padding=1, name="conv2")
+    b.loss(b.fc(b.global_pool(x), 2))
+    return b.finalize()
+
+
+class TestContractGraphsPass:
+    @pytest.mark.parametrize("precision", ["fp32", "fp16", "bf16", "fp64"])
+    @pytest.mark.parametrize("scenario", ["baseline", "bnff", "bnff_icf"])
+    def test_clean_at_every_precision_and_scenario(self, precision, scenario):
+        g = chain_graph()
+        if precision != "fp32":
+            g = retype_graph(g, precision)
+        restructured, _ = apply_scenario(g, scenario)
+        assert analyze_precision_flow(restructured) == []
+
+    def test_paper_scale_graph_clean(self, densenet121_graph):
+        assert analyze_precision_flow(densenet121_graph) == []
+
+
+class TestSeededMutation:
+    def test_fp16_accumulate_stats_is_exactly_one_p001(self):
+        """The acceptance-criteria mutation: pin a BN_STATS accumulator
+        below the fp32 floor in an fp16 graph."""
+        g = retype_graph(chain_graph(), "fp16")
+        FissionPass()(g)
+        assert analyze_precision_flow(g) == []
+        g.node("bn.stats").attrs["accumulate_precision"] = "fp16"
+        found = analyze_precision_flow(g)
+        assert len(found) == 1
+        assert found[0].rule == "REPRO-P001"
+        assert found[0].subject == "bn.stats"
+
+    def test_p002_accumulate_narrower_than_input(self):
+        g = retype_graph(chain_graph(), "fp64")
+        g.node("conv1").attrs["accumulate_precision"] = "fp32"
+        found = analyze_precision_flow(g)
+        assert [f.rule for f in found] == ["REPRO-P002"]
+        assert found[0].subject == "conv1"
+
+    def test_bf16_scale_truncation_is_flagged(self):
+        """Hand-built violating graph: per-channel scale/shift stored at
+        bf16 (the PR-5 truncation bug, expressed statically)."""
+        g = LayerGraph("bf16_trunc")
+        g.add_tensor(TensorSpec("gamma_beta", (2, 8),
+                                kind=TensorKind.CHANNEL_STAT,
+                                dtype=np.float32, precision="bf16"))
+        assert check_graph(g) == []  # bf16-in-fp32-container is coherent...
+        found = analyze_precision_flow(g)
+        assert len(found) == 1
+        assert found[0].rule == "REPRO-P003"  # ...but still a truncation
+        assert found[0].subject == "gamma_beta"
+
+    def test_explicit_wide_accumulate_is_legal(self):
+        g = retype_graph(chain_graph(), "fp16")
+        g.node("conv1").attrs["accumulate_precision"] = "fp32"
+        assert analyze_precision_flow(g) == []
+
+    def test_ghosted_nodes_are_skipped(self):
+        g = retype_graph(chain_graph(), "fp16")
+        FissionPass()(g)
+        stats = g.node("bn.stats")
+        stats.attrs["accumulate_precision"] = "fp16"
+        stats.attrs["fused_into"] = "conv1"
+        stats.fwd_sweeps, stats.bwd_sweeps = [], []
+        stats.fwd_invocations = stats.bwd_invocations = 0
+        assert analyze_precision_flow(g) == []
+
+
+class TestFissionFloorRegression:
+    """Pin the fix the precision-flow analysis surfaced (REPRO-P003):
+    fission's stats tensor used to inherit fp16/bf16 from the graph."""
+
+    @pytest.mark.parametrize("precision,expected_precision,expected_dtype", [
+        ("fp16", "fp32", np.float32),
+        ("bf16", "fp32", np.float32),
+        ("fp32", "fp32", np.float32),
+        ("fp64", "fp64", np.float64),  # wider than the floor stays wide
+    ])
+    def test_stats_tensor_floors_to_fp32(self, precision, expected_precision,
+                                         expected_dtype):
+        g = retype_graph(chain_graph(), precision)
+        FissionPass()(g)
+        spec = g.tensor("bn.stats_out")
+        assert spec.precision == expected_precision
+        assert np.dtype(spec.dtype) == np.dtype(expected_dtype)
+        assert spec.kind == TensorKind.CHANNEL_STAT
+
+    def test_untyped_graph_keeps_untyped_stats(self):
+        g = chain_graph()  # builder graphs carry no precision tag
+        FissionPass()(g)
+        spec = g.tensor("bn.stats_out")
+        assert spec.precision is None
+        assert np.dtype(spec.dtype) == np.float32
+
+    def test_floor_is_invisible_to_traffic_accounting(self):
+        """CHANNEL_STAT tensors are always cache-resident, so widening
+        them must not move any pinned DRAM number."""
+        from repro.hw.cache import CacheModel
+        from repro.hw.presets import SKYLAKE_2S
+
+        g = retype_graph(chain_graph(), "fp16")
+        FissionPass()(g)
+        assert CacheModel(SKYLAKE_2S).is_resident(g.tensor("bn.stats_out"))

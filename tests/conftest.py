@@ -2,8 +2,16 @@
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
+
+# Static graph verification (docs/analysis.md) is on for the whole test
+# suite — every pass application and scenario build re-checks the full
+# invariant catalog — but stays off by default in production sweeps.
+# setdefault so a test run can still opt out explicitly.
+os.environ.setdefault("REPRO_VERIFY_GRAPHS", "1")
 
 from repro.config import rng
 from repro.hw.presets import SKYLAKE_2S

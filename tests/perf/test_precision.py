@@ -175,15 +175,27 @@ class TestBf16PrecisionThreading:
         assert report.master_weight_bytes > 0
 
     def test_scenario_passes_propagate_precision(self):
-        """Restructuring passes that create tensors (e.g. fission's
-        stats_out) must inherit the graph's precision metadata."""
+        """Restructuring passes that create tensors must carry precision
+        metadata: storage tensors inherit the graph's precision, while
+        per-channel statistics (fission's stats_out) floor to fp32 — the
+        same rule the stats kernels apply via ``stat_dtype`` (a bf16
+        stats tensor would model scale/shift truncation the kernels
+        never perform; see docs/analysis.md, rule REPRO-P003)."""
         from repro.passes.scenarios import apply_scenario
+        from repro.tensors.tensor_spec import TensorKind
 
         base = retype_graph(build_model("tiny_densenet", batch=2), "bf16")
         restructured, _ = apply_scenario(base, "bnff")
+        stats = 0
         for t in restructured.tensors.values():
-            assert t.precision == "bf16", t.name
-            assert t.element_bytes == 2, t.name
+            if t.kind == TensorKind.CHANNEL_STAT:
+                stats += 1
+                assert t.precision == "fp32", t.name
+                assert t.element_bytes == 4, t.name
+            else:
+                assert t.precision == "bf16", t.name
+                assert t.element_bytes == 2, t.name
+        assert stats > 0  # fission did create per-channel stats tensors
 
     def test_serialize_round_trips_precision(self, bf16_graph):
         from repro.graph.serialize import graph_from_dict, graph_to_dict

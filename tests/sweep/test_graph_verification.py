@@ -1,0 +1,110 @@
+"""Verifier wiring in the sweep/serve runtime: a malformed cached graph
+must degrade to a rebuild (disk tier) or a clean ``SweepExecutionError``
+(pricing path) / 400 (wire validation) — never a deep kernel traceback."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.static import check_graph
+from repro.errors import SweepExecutionError, SweepSpecError
+from repro.serve.wire import cells_from_json
+from repro.sweep.cache import GraphCache
+from repro.sweep.persist import PersistentCache
+from repro.sweep.runner import price_cell
+from repro.sweep.spec import SweepCell
+from repro.tensors.tensor_spec import TensorSpec
+
+CELL = SweepCell(model="tiny_cnn", hardware="skylake_2s", scenario="bnff",
+                 batch=4)
+
+
+def corrupt(graph):
+    """Shape-corrupt a scenario graph: passes LayerGraph.validate() (which
+    has no shape rules) but fails the static verifier (REPRO-G006)."""
+    bad = graph.clone()
+    conv = next(n for n in bad.nodes if n.name.endswith("conv1")
+                or n.name == "conv1")
+    out = conv.outputs[0]
+    spec = bad.tensors[out]
+    bad.tensors[out] = TensorSpec(out, (9, 9, 9, 9), kind=spec.kind,
+                                  dtype=spec.dtype,
+                                  precision=spec.precision)
+    bad.validate()  # the dynamic tripwire cannot see it...
+    assert check_graph(bad)  # ...the verifier can
+    return bad
+
+
+def poison_disk(tmp_path):
+    """Persist a corrupted graph under the cell's content key.  The store
+    tier is first-write-wins, so the poison must land in a directory no
+    write-through has touched."""
+    good = GraphCache().scenario_graph(CELL.model, CELL.batch,
+                                       CELL.scenario, CELL.precision)
+    PersistentCache(str(tmp_path)).store_graph(CELL.scenario_key(),
+                                               corrupt(good))
+
+
+class TestDiskTierDegrade:
+    def test_malformed_persisted_graph_is_rebuilt(self, tmp_path):
+        poison_disk(tmp_path)
+        cold = GraphCache(persist=PersistentCache(str(tmp_path)))
+        graph = cold.scenario_graph(CELL.model, CELL.batch, CELL.scenario,
+                                    CELL.precision)
+        assert check_graph(graph) == []  # rebuilt, not the poisoned load
+        assert cold.stats.scenario_misses == 1
+        assert cold.stats.scenario_disk_hits == 0
+
+    def test_verification_off_keeps_legacy_trust(self, tmp_path,
+                                                 monkeypatch):
+        poison_disk(tmp_path)
+        monkeypatch.setenv("REPRO_VERIFY_GRAPHS", "0")
+        cold = GraphCache(persist=PersistentCache(str(tmp_path)))
+        cold.scenario_graph(CELL.model, CELL.batch, CELL.scenario,
+                            CELL.precision)
+        assert cold.stats.scenario_disk_hits == 1  # off: loads verbatim
+
+
+class TestPricingDegrade:
+    def test_poisoned_memory_graph_raises_sweep_error(self):
+        cache = GraphCache()
+        good = cache.scenario_graph(CELL.model, CELL.batch, CELL.scenario,
+                                    CELL.precision)
+        cache._scenario_graphs[CELL.scenario_key()] = corrupt(good)
+        with pytest.raises(SweepExecutionError) as ei:
+            price_cell(CELL, cache)
+        assert CELL.key() in ei.value.cell_keys
+        assert "malformed scenario graph" in str(ei.value)
+
+    def test_clean_graph_prices_normally(self):
+        cost = price_cell(CELL, GraphCache())
+        assert cost.total_time_s > 0
+
+
+class TestWireValidation:
+    PAYLOAD = {"cells": [{"model": "tiny_cnn", "scenario": "bnff",
+                          "batch": 4}]}
+
+    def test_poisoned_cached_graph_rejected_as_spec_error(self):
+        cache = GraphCache()
+        good = cache.scenario_graph(CELL.model, CELL.batch, CELL.scenario,
+                                    CELL.precision)
+        cache._scenario_graphs[CELL.scenario_key()] = corrupt(good)
+        with pytest.raises(SweepSpecError, match="malformed"):
+            cells_from_json(self.PAYLOAD, cache=cache)
+
+    def test_clean_cache_admits_request(self):
+        cache = GraphCache()
+        cache.scenario_graph(CELL.model, CELL.batch, CELL.scenario,
+                             CELL.precision)
+        cells = cells_from_json(self.PAYLOAD, cache=cache)
+        assert len(cells) == 1 and cells[0].scenario == "bnff"
+
+    def test_cold_cache_defers_to_pricing_path(self):
+        # Nothing cached yet: wire validation cannot (and must not)
+        # build graphs — the pricing path verifies on build.
+        cells = cells_from_json(self.PAYLOAD, cache=GraphCache())
+        assert len(cells) == 1
+
+    def test_no_cache_keeps_legacy_signature(self):
+        assert len(cells_from_json(self.PAYLOAD)) == 1

@@ -22,6 +22,14 @@ REPRO-ALLOC001 full-tensor temporary in a blocked/fused kernel hot path
                ufunc without ``out=``)
 REPRO-META001  stale allowlist entry (matches nothing; reported under
                ``--strict`` so suppressions cannot outlive their code)
+REPRO-C001     potential lock-order inversion — a cycle in the whole-program
+               lock-acquisition graph over ``sweep/``/``serve/``/``faults/``
+               (:mod:`repro.analysis.concurrency.static`)
+REPRO-C002     blocking call (``time.sleep``, file I/O, ``fcntl.flock``)
+               while holding a lock
+REPRO-C003     blocking call inside an ``async def`` body (the serve/ event
+               loop must never block)
+REPRO-C004     fork / pool dispatch while holding a lock
 =============  ==============================================================
 
 Suppression, two mechanisms (both carry the rule id so every exception is
@@ -54,9 +62,15 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
+from repro.analysis.concurrency import static as _concurrency
+
 EXIT_CLEAN = 0
 EXIT_FINDINGS = 1
 EXIT_INTERNAL = 2
+
+#: Directory names never linted: bytecode caches and on-disk sweep caches
+#: that may sit inside a source checkout.
+SKIP_DIRS = {"__pycache__", ".sweep_cache"}
 
 #: Default allowlist filename, looked up at the repo root (two levels above
 #: the ``repro`` package when running from a source checkout).
@@ -363,7 +377,24 @@ def _rule_alloc001(relpath: str, tree: ast.Module,
                 f"temporary in a hot path"))
 
 
-_RULES = (_rule_k001, _rule_det, _rule_lock001, _rule_alloc001)
+def _rule_concurrency(relpath: str, tree: ast.Module,
+                      findings: List[LintFinding]) -> None:
+    """Per-file half of the REPRO-C family (C002/C003/C004).
+
+    C001 needs the whole program and runs from :func:`run_lint` via
+    :func:`repro.analysis.concurrency.static.program_findings`.
+    """
+    for c in _concurrency.file_findings(relpath, tree):
+        findings.append(LintFinding(*c))
+
+
+#: Per-file rules, run by :func:`lint_source`. Whole-program rules
+#: (:data:`_PROGRAM_RULES`) run once per :func:`run_lint` over every
+#: concurrency-scoped tree the walk collected.
+_RULES = (_rule_k001, _rule_det, _rule_lock001, _rule_alloc001,
+          _rule_concurrency)
+
+_PROGRAM_RULES = (_concurrency.program_findings,)
 
 
 # -- driving -------------------------------------------------------------------
@@ -441,6 +472,19 @@ def _normalize_paths(root: Path, paths: Sequence[str]) -> List[str]:
     return normalized
 
 
+def _apply_allowlist(findings: List[LintFinding],
+                     entries: List[AllowEntry]) -> None:
+    for f in findings:
+        if f.allowed:
+            continue
+        for entry in entries:
+            if entry.matches(f):
+                entry.matched += 1
+                f.allowed = True
+                f.allow_source = "allowlist"
+                break
+
+
 def run_lint(root: Optional[Path] = None,
              allowlist_path: Optional[Path] = None,
              strict: bool = False,
@@ -460,8 +504,12 @@ def run_lint(root: Optional[Path] = None,
     report = LintReport(strict=strict)
     wanted = _normalize_paths(root, paths) if paths else None
     matched: set = set()
+    scoped_sources: Dict[str, str] = {}
     for py in sorted(root.rglob("*.py")):
-        relpath = py.relative_to(root).as_posix()
+        relparts = py.relative_to(root).parts
+        if any(part in SKIP_DIRS for part in relparts[:-1]):
+            continue
+        relpath = "/".join(relparts)
         if wanted is not None:
             hits = [w for w in wanted
                     if relpath == w or relpath.startswith(w + "/")]
@@ -469,16 +517,34 @@ def run_lint(root: Optional[Path] = None,
                 continue
             matched.update(hits)
         report.files_checked += 1
-        findings = lint_source(py.read_text(), relpath)
-        for f in findings:
-            if not f.allowed:
-                for entry in entries:
-                    if entry.matches(f):
-                        entry.matched += 1
-                        f.allowed = True
-                        f.allow_source = "allowlist"
-                        break
+        try:
+            source = py.read_text()
+        except OSError as exc:
+            raise ValueError(f"cannot read {relpath}: {exc}") from exc
+        try:
+            findings = lint_source(source, relpath)
+        except SyntaxError as exc:
+            raise ValueError(
+                f"cannot parse {relpath}: line {exc.lineno}: "
+                f"{exc.msg}") from exc
+        if _concurrency.in_scope(relpath):
+            scoped_sources[relpath] = source
+        _apply_allowlist(findings, entries)
         report.findings.extend(findings)
+
+    # Whole-program rules see every concurrency-scoped file the walk kept
+    # (a path-restricted run analyzes just that slice); suppression works
+    # exactly like the per-file rules.
+    trees = {rp: ast.parse(src, filename=rp)
+             for rp, src in scoped_sources.items()}
+    for program_rule in _PROGRAM_RULES:
+        program = [LintFinding(*c) for c in program_rule(trees)]
+        for f in program:
+            _apply_inline_allows(
+                [f], _inline_allows(
+                    scoped_sources.get(f.path, "").splitlines()))
+        _apply_allowlist(program, entries)
+        report.findings.extend(program)
 
     if wanted is not None:
         missing = [w for w in wanted if w not in matched]

@@ -35,6 +35,7 @@ import threading
 from dataclasses import dataclass, field, fields
 from typing import Callable, Dict, Mapping, Optional, Union
 
+from repro.analysis.concurrency import sanitizer
 from repro.graph.graph import LayerGraph
 from repro.models.registry import build_model
 from repro.passes.scenarios import apply_scenario
@@ -124,7 +125,9 @@ class GraphCache:
     observe a half-inserted entry. Computes themselves run *outside*
     the lock: two threads missing the same key may both compute, but
     the results are content-identical, so the race costs time, never
-    correctness.
+    correctness. The lock is sanitizer-instrumented (``REPRO_SANITIZE``,
+    docs/analysis.md) so any future nesting against the persist-tier
+    stripes shows up in the lock-order graph.
     """
 
     persist: Optional[PersistentCache] = None
@@ -133,8 +136,10 @@ class GraphCache:
     _costs: Dict[str, IterationCost] = field(default_factory=dict)
     _node_counts: Dict[str, int] = field(default_factory=dict)
     stats: CacheStats = field(default_factory=CacheStats)
-    _lock: threading.RLock = field(default_factory=threading.RLock,
-                                   init=False, repr=False, compare=False)
+    _lock: sanitizer.SanitizedLock = field(
+        default_factory=lambda: sanitizer.SanitizedLock(
+            "sweep.cache:GraphCache._lock"),
+        init=False, repr=False, compare=False)
 
     def _load_verified_graph(self, key: str) -> Optional[LayerGraph]:
         """Disk-tier graph load, gated by the static verifier.

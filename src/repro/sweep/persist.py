@@ -66,6 +66,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro import faults
+from repro.analysis.concurrency import sanitizer
 from repro.graph.graph import LayerGraph
 from repro.perf.report import IterationCost
 
@@ -105,9 +106,20 @@ _GC_STORE_INTERVAL = 64
 #: In-process stripe locks, shared by every :class:`PersistentCache`
 #: instance over the same directory (a server session, its pool workers
 #: pre-fork, and any directly-constructed cache must contend on the same
-#: locks, not per-instance ones).
-_STRIPE_REGISTRY: Dict[str, List[threading.RLock]] = {}
-_REGISTRY_LOCK = threading.Lock()
+#: locks, not per-instance ones). Entries for cache roots whose directory
+#: has since been deleted are evicted on the next lookup (see
+#: :func:`_stripes_for`), so a long-lived server cycling tmp cache dirs
+#: cannot leak one stripe list per dir forever.
+#:
+#: Lock names below are the sanitizer's lock-class ids; they match the
+#: static analyzer's naming (docs/analysis.md) so the runtime lock-order
+#: artifact is directly comparable with the lexical graph.
+_STRIPE_LOCK_NAME = "sweep.persist:PersistentCache._stripes"
+_STATS_LOCK_NAME = "sweep.persist:PersistentCache._stats_lock"
+_FLOCK_LOCK_NAME = "sweep.persist:flock"
+_STRIPE_REGISTRY: Dict[str, List[sanitizer.SanitizedLock]] = {}
+_REGISTRY_LOCK = sanitizer.SanitizedLock(
+    "sweep.persist:_REGISTRY_LOCK", threading.Lock())
 
 
 def shard_for(key: str) -> str:
@@ -123,11 +135,20 @@ def shard_for(key: str) -> str:
     return format(zlib.crc32(key.encode("utf-8")) & (NUM_SHARDS - 1), "x")
 
 
-def _stripes_for(root: str) -> List[threading.RLock]:
+def _stripes_for(root: str) -> List[sanitizer.SanitizedLock]:
     with _REGISTRY_LOCK:
+        # Evict stripes of roots whose directory is gone: a live cache
+        # implies an existing root (``__post_init__`` creates it), so a
+        # missing directory means every cache over it is done and its
+        # stripes can never again guard anything. Never evict the root
+        # being requested — its directory may race with this lookup.
+        for stale in [r for r in _STRIPE_REGISTRY
+                      if r != root and not os.path.isdir(r)]:
+            del _STRIPE_REGISTRY[stale]
         locks = _STRIPE_REGISTRY.get(root)
         if locks is None:
-            locks = [threading.RLock() for _ in range(NUM_SHARDS)]
+            locks = [sanitizer.SanitizedLock(_STRIPE_LOCK_NAME)
+                     for _ in range(NUM_SHARDS)]
             _STRIPE_REGISTRY[root] = locks
         return locks
 
@@ -182,8 +203,10 @@ class PersistentCache:
     _stores_since_gc: int = field(default=0, init=False, repr=False)
     _store_degraded_until: float = field(default=0.0, init=False, repr=False)
     _store_warned: bool = field(default=False, init=False, repr=False)
-    _stats_lock: threading.Lock = field(
-        default_factory=threading.Lock, init=False, repr=False, compare=False
+    _stats_lock: sanitizer.SanitizedLock = field(
+        default_factory=lambda: sanitizer.SanitizedLock(
+            _STATS_LOCK_NAME, threading.Lock()),
+        init=False, repr=False, compare=False
     )
 
     def __post_init__(self) -> None:
@@ -202,6 +225,12 @@ class PersistentCache:
             raise ValueError(
                 f"store_retry_s must be >= 0, got {self.store_retry_s}"
             )
+        # Create the root eagerly so "directory exists" is a faithful
+        # liveness signal for the stripe-registry eviction above (stores
+        # would create it lazily anyway). Best-effort: an uncreatable
+        # root degrades to compute-only on the store side, never fatal.
+        with contextlib.suppress(OSError):
+            os.makedirs(self.root, exist_ok=True)
         self._stripes = _stripes_for(self.root)
 
     # -- paths ---------------------------------------------------------------
@@ -225,10 +254,15 @@ class PersistentCache:
             os.makedirs(lock_dir, exist_ok=True)
             fd = os.open(os.path.join(lock_dir, f"{shard}.lock"),
                          os.O_CREAT | os.O_RDWR, 0o644)
+            # The sanitizer sees the flock as one lock class acquired
+            # *after* the stripe — announced before blocking so an
+            # inversion raises instead of deadlocking.
+            sanitizer.note_acquire(_FLOCK_LOCK_NAME)
             try:
                 fcntl.flock(fd, fcntl.LOCK_EX)
                 yield
             finally:
+                sanitizer.note_release(_FLOCK_LOCK_NAME)
                 os.close(fd)  # closing the fd releases the flock
 
     def _count(self, counter: str, n: int = 1) -> None:

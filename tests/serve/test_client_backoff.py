@@ -1,0 +1,145 @@
+"""ServingClient retry backoff: bounded by ``backoff_max_s``, jittered
+within the documented band, floored at the server's ``retry_after_s``
+hint, deterministic per seed, and actually slept by the retry loop."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serve.client import RetryLater, ServingClient
+
+
+def client(**kw):
+    kw.setdefault("seed", 0)
+    return ServingClient(**kw)
+
+
+class TestBackoffSchedule:
+    def test_no_jitter_is_exact_exponential(self):
+        c = client(backoff_base_s=0.1, backoff_factor=2.0,
+                   backoff_max_s=5.0, backoff_jitter=0.0)
+        assert [c.backoff_s(a) for a in range(4)] == [0.1, 0.2, 0.4, 0.8]
+
+    def test_capped_at_backoff_max(self):
+        c = client(backoff_base_s=1.0, backoff_factor=10.0,
+                   backoff_max_s=3.0, backoff_jitter=0.0)
+        # 1, 10, 100 -> 1, 3, 3
+        assert [c.backoff_s(a) for a in range(3)] == [1.0, 3.0, 3.0]
+
+    def test_hint_floors_the_delay(self):
+        c = client(backoff_base_s=0.05, backoff_jitter=0.0)
+        # Server asked for 2s; the schedule would only be 50ms.
+        assert c.backoff_s(0, hint_s=2.0) == 2.0
+
+    def test_hint_still_capped_at_max(self):
+        c = client(backoff_max_s=1.5, backoff_jitter=0.0)
+        # An absurd server hint never exceeds the client's own ceiling.
+        assert c.backoff_s(0, hint_s=60.0) == 1.5
+
+    def test_schedule_dominates_small_hint(self):
+        c = client(backoff_base_s=0.5, backoff_factor=2.0,
+                   backoff_jitter=0.0)
+        assert c.backoff_s(2, hint_s=0.1) == 2.0  # 0.5 * 2**2
+
+    def test_jitter_stays_in_documented_band(self):
+        j = 0.1
+        c = client(backoff_base_s=0.2, backoff_factor=2.0,
+                   backoff_max_s=5.0, backoff_jitter=j)
+        for attempt in range(4):
+            nominal = min(5.0, 0.2 * 2.0 ** attempt)
+            for _ in range(50):
+                d = c.backoff_s(attempt)
+                assert nominal * (1 - j) <= d <= nominal * (1 + j)
+
+    def test_every_delay_bounded_even_with_jitter(self):
+        c = client(backoff_base_s=1.0, backoff_factor=4.0,
+                   backoff_max_s=2.0, backoff_jitter=0.25)
+        for attempt in range(6):
+            for _ in range(20):
+                assert c.backoff_s(attempt, hint_s=99.0) <= 2.0 * 1.25
+
+    def test_deterministic_per_seed(self):
+        a = [client(seed=7).backoff_s(i) for i in range(5)]
+        b = [client(seed=7).backoff_s(i) for i in range(5)]
+        other = [client(seed=8).backoff_s(i) for i in range(5)]
+        assert a == b
+        assert a != other
+
+    def test_jitter_decorrelates_endpoints(self):
+        # Same seed, different endpoint: a fleet pointed at two replicas
+        # must not sleep in lockstep.
+        a = [client(port=1000).backoff_s(i) for i in range(5)]
+        b = [client(port=1001).backoff_s(i) for i in range(5)]
+        assert a != b
+
+
+class TestConstructorValidation:
+    def test_negative_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            client(backoff_base_s=-1.0)
+        with pytest.raises(ValueError):
+            client(backoff_max_s=-0.1)
+
+    def test_factor_below_one_rejected(self):
+        with pytest.raises(ValueError):
+            client(backoff_factor=0.5)
+
+    def test_jitter_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            client(backoff_jitter=1.0)
+        with pytest.raises(ValueError):
+            client(backoff_jitter=-0.1)
+
+
+class TestRetryLoop:
+    def _shedding_client(self, monkeypatch, sheds, retry_after_s=0.75):
+        """A client whose transport sheds ``sheds`` times then succeeds,
+        with sleeps captured instead of performed."""
+        c = client(backoff_base_s=0.05, backoff_factor=2.0,
+                   backoff_max_s=5.0, backoff_jitter=0.0)
+        calls = {"n": 0}
+        slept = []
+
+        def fake_request(method, path, payload=None):
+            calls["n"] += 1
+            if calls["n"] <= sheds:
+                raise RetryLater(retry_after_s, "busy")
+            return {"results": [{"ok": True}]}
+
+        monkeypatch.setattr(c, "_request", fake_request)
+        monkeypatch.setattr("repro.serve.client.time.sleep", slept.append)
+        return c, calls, slept
+
+    def test_retries_then_succeeds_sleeping_floored_delays(self, monkeypatch):
+        c, calls, slept = self._shedding_client(monkeypatch, sheds=2)
+        rows = c.price_cells([{"model": "resnet50", "batch": 32,
+                               "scenario": "baseline"}], retries=2)
+        assert rows == [{"ok": True}]
+        assert calls["n"] == 3
+        # Both sleeps floored at the 0.75s server hint (schedule would
+        # be 0.05 and 0.1).
+        assert slept == [0.75, 0.75]
+
+    def test_exhausted_retries_reraise(self, monkeypatch):
+        c, calls, slept = self._shedding_client(monkeypatch, sheds=5)
+        with pytest.raises(RetryLater):
+            c.price_cells([{"model": "resnet50", "batch": 32,
+                            "scenario": "baseline"}], retries=2)
+        assert calls["n"] == 3  # initial try + 2 retries
+        assert len(slept) == 2
+
+    def test_zero_retries_never_sleeps(self, monkeypatch):
+        c, calls, slept = self._shedding_client(monkeypatch, sheds=1)
+        with pytest.raises(RetryLater):
+            c.price_cells([{"model": "resnet50", "batch": 32,
+                            "scenario": "baseline"}])
+        assert calls["n"] == 1
+        assert slept == []
+
+    def test_schedule_escalates_past_small_hint(self, monkeypatch):
+        c, calls, slept = self._shedding_client(
+            monkeypatch, sheds=3, retry_after_s=0.06)
+        c.price_cells([{"model": "resnet50", "batch": 32,
+                        "scenario": "baseline"}], retries=3)
+        # Attempt 0 floored by the hint; later attempts outgrow it.
+        assert slept == [0.06, 0.1, 0.2]

@@ -194,33 +194,39 @@ def test_one_failure_rejects_every_coalesced_waiter_exactly_once():
 
 def test_deadline_expiry_spares_the_shared_future():
     async def main():
-        pricer = BlockingPricer()
-        with SweepSession() as session, \
-                CostService(session, pricer=pricer) as service:
-            cell = _cell()
-            patient = asyncio.create_task(service.price_cell(cell))
-            while len(pricer.calls) < 1:
-                await asyncio.sleep(0.01)
+        # The pricer must store into the *session's* cache: the "once
+        # warm" step below relies on a genuine memory-tier hit, not on
+        # a re-price sneaking under the 1ms deadline on an idle machine.
+        with SweepSession() as session:
+            pricer = BlockingPricer(cache=session.cache)
+            with CostService(session, pricer=pricer) as service:
+                cell = _cell()
+                patient = asyncio.create_task(service.price_cell(cell))
+                while len(pricer.calls) < 1:
+                    await asyncio.sleep(0.01)
 
-            # An impatient coalesced caller times out...
-            with pytest.raises(DeadlineExceeded) as err:
-                await service.price_cells([cell], deadline_s=0.05)
-            assert err.value.unresolved == 1
-            assert service.stats.deadline_exceeded == 1
+                # An impatient coalesced caller times out...
+                with pytest.raises(DeadlineExceeded) as err:
+                    await service.price_cells([cell], deadline_s=0.05)
+                assert err.value.unresolved == 1
+                assert service.stats.deadline_exceeded == 1
 
-            # ...but the in-flight future was not cancelled: the patient
-            # caller still gets the result, from the one compute.
-            pricer.release.set()
-            assert (await patient) is not None
-            assert service.stats.priced == 1
-            assert service.pending == 0 and service._inflight == {}
+                # ...but the in-flight future was not cancelled: the
+                # patient caller still gets the result, from the one
+                # compute.
+                pricer.release.set()
+                assert (await patient) is not None
+                assert service.stats.priced == 1
+                assert service.pending == 0 and service._inflight == {}
 
-            # Once warm, a deadline is irrelevant — no executor involved.
-            assert (await service.price_cells(
-                [cell], deadline_s=0.001)) is not None
+                # Once warm, a deadline is irrelevant — the memory-tier
+                # hit resolves synchronously, no executor involved.
+                assert (await service.price_cells(
+                    [cell], deadline_s=0.001)) is not None
+                assert service.stats.priced == 1  # nothing re-priced
 
-            with pytest.raises(ValueError, match="deadline_s"):
-                await service.price_cells([cell], deadline_s=0)
+                with pytest.raises(ValueError, match="deadline_s"):
+                    await service.price_cells([cell], deadline_s=0)
 
     asyncio.run(main())
 
